@@ -1,0 +1,352 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Sec. V), one benchmark per experiment, plus ablation benches
+// for the design knobs called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure bench reports, besides ns/op, custom metrics matching the
+// figure's headline quantity (contention cost, Gini, fairness percentage,
+// message counts), so a bench run doubles as a compact reproduction
+// report.
+package faircache_test
+
+import (
+	"testing"
+
+	faircache "repro"
+
+	"repro/internal/eval"
+)
+
+// benchScenario mirrors the paper's defaults with a budgeted exact search
+// so Brtf-dependent figures stay tractable inside a benchmark loop.
+func benchScenario() eval.Scenario {
+	sc := eval.DefaultScenario()
+	sc.OptimalBudget = 2000
+	sc.OptimalWidth = 8
+	return sc
+}
+
+func BenchmarkFig1ChunkDistribution6x6(b *testing.B) {
+	sc := benchScenario()
+	for i := 0; i < b.N; i++ {
+		fig, err := eval.RunFig1(6, 6, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			total := 0
+			for _, d := range fig.Diff[faircache.AlgorithmApprox] {
+				if d < 0 {
+					total -= d
+				} else {
+					total += d
+				}
+			}
+			b.ReportMetric(float64(total), "appx-total-|diff|")
+		}
+	}
+}
+
+func BenchmarkFig2SmallGridsWithOptimal(b *testing.B) {
+	sc := benchScenario()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFig2Small([]int{3, 4}, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.Total[faircache.AlgorithmApprox]/last.Optimal, "appx/optimal-ratio")
+		}
+	}
+}
+
+func BenchmarkFig2LargeGrids(b *testing.B) {
+	sc := benchScenario()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFig2Large([]int{10, 12}, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.Total[faircache.AlgorithmHopCount]/last.Total[faircache.AlgorithmApprox], "hopc/appx-ratio")
+		}
+	}
+}
+
+func BenchmarkFig3HopLimitSweep(b *testing.B) {
+	sc := benchScenario()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFig3(6, 6, 4, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].Total()/rows[1].Total(), "k1/k2-cost-ratio")
+		}
+	}
+}
+
+func BenchmarkFig4RandomNetworks(b *testing.B) {
+	sc := benchScenario()
+	sc.Seeds = []int64{1, 2} // 2 seeds per op keeps the bench responsive
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFig4([]int{20, 60}, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.Total[faircache.AlgorithmHopCount]/last.Total[faircache.AlgorithmApprox], "hopc/appx-ratio")
+		}
+	}
+}
+
+// BenchmarkFig5 measures the single-chunk placement time of each
+// algorithm directly — the figure's own quantity is the benchmark metric.
+func BenchmarkFig5PlaceOneChunkAppx(b *testing.B) { benchPlaceOne(b, faircache.AlgorithmApprox) }
+func BenchmarkFig5PlaceOneChunkHopc(b *testing.B) { benchPlaceOne(b, faircache.AlgorithmHopCount) }
+func BenchmarkFig5PlaceOneChunkCont(b *testing.B) { benchPlaceOne(b, faircache.AlgorithmContention) }
+
+func benchPlaceOne(b *testing.B, alg faircache.Algorithm) {
+	topo, err := faircache.Grid(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Run(alg, topo, 9, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6StorageConcentration(b *testing.B) {
+	sc := benchScenario()
+	for i := 0; i < b.N; i++ {
+		fig, err := eval.RunFig6(6, 6, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(100*fig.Percentile75[faircache.AlgorithmApprox], "appx-75pct-fairness-%")
+			b.ReportMetric(100*fig.Percentile75[faircache.AlgorithmHopCount], "hopc-75pct-fairness-%")
+		}
+	}
+}
+
+func BenchmarkFig7GiniGrids(b *testing.B) {
+	sc := benchScenario()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFig7Grid([]int{4, 6, 8}, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[1].Gini[faircache.AlgorithmApprox], "appx-gini-6x6")
+		}
+	}
+}
+
+func BenchmarkFig7GiniRandom(b *testing.B) {
+	sc := benchScenario()
+	sc.Seeds = []int64{1, 2}
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFig7Random([]int{20, 60}, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[1].Gini[faircache.AlgorithmApprox], "appx-gini-60")
+		}
+	}
+}
+
+func BenchmarkFig8AccumulatedCost4x4(b *testing.B) { benchFig8(b, 4) }
+func BenchmarkFig8AccumulatedCost8x8(b *testing.B) { benchFig8(b, 8) }
+
+func benchFig8(b *testing.B, side int) {
+	sc := benchScenario()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunFig8(side, side, 10, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.Total[faircache.AlgorithmContention]/last.Total[faircache.AlgorithmApprox], "cont/appx-at-10-chunks")
+		}
+	}
+}
+
+func BenchmarkFig9PerChunkCost4x4(b *testing.B) { benchFig9(b, 4) }
+func BenchmarkFig9PerChunkCost6x6(b *testing.B) { benchFig9(b, 6) }
+
+func benchFig9(b *testing.B, side int) {
+	sc := benchScenario()
+	for i := 0; i < b.N; i++ {
+		fig, err := eval.RunFig9(side, side, 10, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			xs := fig.PerChunk[faircache.AlgorithmApprox]
+			lo, hi := xs[0], xs[0]
+			for _, x := range xs {
+				if x < lo {
+					lo = x
+				}
+				if x > hi {
+					hi = x
+				}
+			}
+			b.ReportMetric(hi-lo, "appx-per-chunk-spread")
+		}
+	}
+}
+
+func BenchmarkTable2MessageCounts(b *testing.B) {
+	sc := benchScenario()
+	for i := 0; i < b.N; i++ {
+		tab, err := eval.RunTable2(6, 6, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !tab.WithinBound {
+			b.Fatalf("message bound violated: %d > %d", tab.Total, tab.Bound)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(tab.Total), "messages")
+		}
+	}
+}
+
+// --- Ablation benches for the DESIGN.md design choices. ---
+
+// BenchmarkAblationAlphaStep sweeps U_α: a large step terminates faster
+// but can pick fewer caching nodes (Sec. IV-B trade-off).
+func BenchmarkAblationAlphaStep(b *testing.B) {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, step := range []float64{0.5, 1, 2, 4} {
+		b.Run(stepName(step), func(b *testing.B) {
+			var lastGini float64
+			for i := 0; i < b.N; i++ {
+				res, err := faircache.Approximate(topo, 9, 5, &faircache.Options{AlphaStep: step, GammaStep: 2.5 * step})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastGini = res.Gini()
+			}
+			b.ReportMetric(lastGini, "gini")
+		})
+	}
+}
+
+// BenchmarkAblationSpanQuorum sweeps M: the SPAN quorum gates how many
+// caches open per chunk.
+func BenchmarkAblationSpanQuorum(b *testing.B) {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []int{1, 2, 3, 4} {
+		b.Run(quorumName(m), func(b *testing.B) {
+			var distinct int
+			for i := 0; i < b.N; i++ {
+				res, err := faircache.Approximate(topo, 9, 5, &faircache.Options{SpanQuorum: m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				distinct = res.DistinctCacheNodes()
+			}
+			b.ReportMetric(float64(distinct), "distinct-caches")
+		})
+	}
+}
+
+// BenchmarkAblationFairnessWeight compares the full objective against the
+// contention-only ablation (fairness weight 0).
+func BenchmarkAblationFairnessWeight(b *testing.B) {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []float64{-1, 1, 4} { // -1 requests weight 0
+		b.Run(weightName(w), func(b *testing.B) {
+			var gini float64
+			for i := 0; i < b.N; i++ {
+				res, err := faircache.Approximate(topo, 9, 5, &faircache.Options{FairnessWeight: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				gini = res.Gini()
+			}
+			b.ReportMetric(gini, "gini")
+		})
+	}
+}
+
+func stepName(step float64) string {
+	switch step {
+	case 0.5:
+		return "U=0.5"
+	case 1:
+		return "U=1"
+	case 2:
+		return "U=2"
+	default:
+		return "U=4"
+	}
+}
+
+func quorumName(m int) string {
+	return "M=" + string(rune('0'+m))
+}
+
+func weightName(w float64) string {
+	switch {
+	case w < 0:
+		return "w=0"
+	case w == 1:
+		return "w=1"
+	default:
+		return "w=4"
+	}
+}
+
+// BenchmarkAblationGreedyVsPrimalDual compares the guaranteed primal-dual
+// ConFL solver against the greedy heuristic (related work [23]) on the
+// paper's 6×6 scenario.
+func BenchmarkAblationGreedyVsPrimalDual(b *testing.B) {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, greedy := range []bool{false, true} {
+		name := "primal-dual"
+		if greedy {
+			name = "greedy"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cost, gini float64
+			for i := 0; i < b.N; i++ {
+				res, err := faircache.Approximate(topo, 9, 5, &faircache.Options{GreedyConFL: greedy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				report, err := res.ContentionCost()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost, gini = report.Total(), res.Gini()
+			}
+			b.ReportMetric(cost, "contention")
+			b.ReportMetric(gini, "gini")
+		})
+	}
+}

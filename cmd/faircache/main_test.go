@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestBuildTopology(t *testing.T) {
+	topo, err := buildTopology("6x6", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 36 {
+		t.Errorf("grid nodes = %d, want 36", topo.NumNodes())
+	}
+	topo, err = buildTopology("ignored", 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 30 {
+		t.Errorf("random nodes = %d, want 30", topo.NumNodes())
+	}
+	for _, bad := range []string{"6", "ax6", "6xb", ""} {
+		if _, err := buildTopology(bad, 0, 1); err == nil {
+			t.Errorf("grid spec %q: want error", bad)
+		}
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	if err := run("nope", "3x3", 0, 1, -1, 1, 5, 2, 0, 0, false); err == nil {
+		t.Error("unknown algorithm: want error")
+	}
+}
+
+func TestRunSmokeTextAndJSON(t *testing.T) {
+	// Output goes to stdout; only success/failure is asserted here.
+	if err := run("appx", "4x4", 0, 1, -1, 2, 5, 2, 0, 0, false); err != nil {
+		t.Errorf("text run: %v", err)
+	}
+	if err := run("dist", "4x4", 0, 1, -1, 1, 5, 2, 0, 0, true); err != nil {
+		t.Errorf("json run: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+package faircache_test
+
+import (
+	"fmt"
+	"log"
+
+	faircache "repro"
+)
+
+// ExampleApproximate places the paper's 6×6-grid scenario and reports the
+// headline fairness metrics.
+func ExampleApproximate() {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := faircache.Approximate(topo, 9, 5, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chunks placed: %d\n", res.Chunks)
+	fmt.Printf("producer cached anything: %v\n", res.Counts[9] > 0)
+	fmt.Printf("load is fair (gini < 0.4): %v\n", res.Gini() < 0.4)
+	// Output:
+	// chunks placed: 5
+	// producer cached anything: false
+	// load is fair (gini < 0.4): true
+}
+
+// ExampleDistribute runs the distributed protocol and checks the message
+// complexity bound of Sec. IV-D.
+func ExampleDistribute() {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := faircache.Distribute(topo, 9, 5, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, v := range res.Messages {
+		total += v
+	}
+	n := topo.NumNodes()
+	fmt.Printf("protocol used the seven TABLE II message types: %v\n", len(res.Messages) >= 7)
+	fmt.Printf("within O(QN+N^2) bound: %v\n", total <= 40*(5*n+n*n))
+	// Output:
+	// protocol used the seven TABLE II message types: true
+	// within O(QN+N^2) bound: true
+}
+
+// ExampleResult_ContentionCost compares the fair placement against the
+// hop-count baseline on the evaluation metric.
+func ExampleResult_ContentionCost() {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fair, err := faircache.Approximate(topo, 9, 5, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hop, err := faircache.HopCountBaseline(topo, 9, 5, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fairCost, err := fair.ContentionCost()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hopCost, err := hop.ContentionCost()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fair placement is cheaper: %v\n", fairCost.Total() < hopCost.Total())
+	fmt.Printf("and fairer: %v\n", fair.Gini() < hop.Gini())
+	// Output:
+	// fair placement is cheaper: true
+	// and fairer: true
+}
+
+// ExampleNewOnline streams chunks through the online system with
+// expiry-driven cache replacement.
+func ExampleNewOnline() {
+	topo, err := faircache.Grid(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := faircache.NewOnline(topo, 5, &faircache.Options{Capacity: 2, ChunkTTL: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := sys.Publish(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("publications: %d\n", sys.Clock())
+	fmt.Printf("live chunks within TTL window: %v\n", len(sys.Live()) <= 2)
+	// Output:
+	// publications: 5
+	// live chunks within TTL window: true
+}

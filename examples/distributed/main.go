@@ -1,0 +1,70 @@
+// Distributed: a close-up of the paper's Algorithm 2 — the message-driven
+// protocol in which devices with no global topology knowledge elect
+// caching (ADMIN) nodes by exchanging NPI / CC / TIGHT / SPAN / FREEZE /
+// NADMIN / BADMIN messages within a bounded hop range.
+//
+// The example sweeps the hop limit k and prints message counts per type
+// (TABLE II) so the overhead/quality trade-off behind the paper's choice
+// of k = 2 is visible.
+//
+// Run with:
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	faircache "repro"
+)
+
+func main() {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		producer = 9
+		chunks   = 5
+	)
+
+	fmt.Println("distributed fair caching on a 6x6 grid, 5 chunks, producer 9")
+	fmt.Printf("\n%-4s %10s %10s %10s %10s\n", "k", "caches", "gini", "cost", "messages")
+	for k := 1; k <= 4; k++ {
+		res, err := faircache.Distribute(topo, producer, chunks, &faircache.Options{HopLimit: k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost, err := res.ContentionCost()
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := 0
+		for _, v := range res.Messages {
+			total += v
+		}
+		fmt.Printf("%-4d %10d %10.3f %10.0f %10d\n",
+			k, res.DistinctCacheNodes(), res.Gini(), cost.Total(), total)
+	}
+
+	// Detailed message accounting for the paper's default k = 2.
+	res, err := faircache.Distribute(topo, producer, chunks, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmessage breakdown at k = 2 (TABLE II message types):")
+	kinds := make([]string, 0, len(res.Messages))
+	for kind := range res.Messages {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		fmt.Printf("  %-8s %6d\n", kind, res.Messages[kind])
+	}
+
+	fmt.Println("\nk = 1 gives devices too little information (higher cost, fewer,")
+	fmt.Println("worse-placed caches); k >= 2 is flat while message overhead keeps")
+	fmt.Println("growing — which is why the paper settles on 2-hop exchanges.")
+}

@@ -1,0 +1,78 @@
+// Festival: the paper's motivating scenario — a large outdoor public
+// event where smartphones share sensing data (photos, food-stand queue
+// info, video clips of memorable moments) over a dense ad-hoc network.
+//
+// The example compares all four algorithms on the same crowd topology and
+// shows why fairness matters: with the baselines, a handful of phones
+// carry the entire caching burden (and their owners would opt out),
+// while the fair algorithms spread the load with similar latency.
+//
+// Run with:
+//
+//	go run ./examples/festival
+package main
+
+import (
+	"fmt"
+	"log"
+
+	faircache "repro"
+)
+
+func main() {
+	// 120 festival attendees in a plaza; radio range yields a connected
+	// multi-hop mesh. The stage camera (most central phone) produces 5
+	// video chunks that everyone wants.
+	const attendees = 120
+	topo, err := faircache.Random(attendees, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	producer := topo.CentralNode()
+	fmt.Printf("festival mesh: %d phones, %d radio links, producer at node %d\n\n",
+		topo.NumNodes(), topo.NumLinks(), producer)
+
+	const chunks = 5
+	type entry struct {
+		name string
+		run  func() (*faircache.Result, error)
+	}
+	runs := []entry{
+		{"fair approximation (Appx)", func() (*faircache.Result, error) {
+			return faircache.Approximate(topo, producer, chunks, nil)
+		}},
+		{"fair distributed (Dist)", func() (*faircache.Result, error) {
+			return faircache.Distribute(topo, producer, chunks, nil)
+		}},
+		{"hop-count baseline (Hopc)", func() (*faircache.Result, error) {
+			return faircache.HopCountBaseline(topo, producer, chunks, nil)
+		}},
+		{"contention baseline (Cont)", func() (*faircache.Result, error) {
+			return faircache.ContentionBaseline(topo, producer, chunks, nil)
+		}},
+	}
+
+	fmt.Printf("%-28s %8s %8s %10s %12s\n", "algorithm", "phones", "gini", "max load", "contention")
+	for _, e := range runs {
+		res, err := e.run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		cost, err := res.ContentionCost()
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxLoad := 0
+		for _, c := range res.Counts {
+			if c > maxLoad {
+				maxLoad = c
+			}
+		}
+		fmt.Printf("%-28s %8d %8.3f %7d/%-2d %12.0f\n",
+			e.name, res.DistinctCacheNodes(), res.Gini(), maxLoad, res.Capacity, cost.Total())
+	}
+
+	fmt.Println("\nreading the table: the fair algorithms recruit many phones with")
+	fmt.Println("light per-phone load (low gini), while the baselines exhaust the")
+	fmt.Println("storage of a few central phones — whose owners would stop sharing.")
+}

@@ -1,0 +1,66 @@
+// Online: the paper's future-work direction made concrete — a long-lived
+// edge deployment where sensing chunks are published continuously, stale
+// chunks expire (cache replacement), and each arrival is placed by one
+// fair-caching iteration against the live storage state.
+//
+// The example streams 30 publications through a 6×6 mesh and shows that
+// storage is recycled without deadlock and the cumulative caching load
+// stays fair over the whole horizon.
+//
+// Run with:
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+
+	faircache "repro"
+)
+
+func main() {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := faircache.NewOnline(topo, 9, &faircache.Options{
+		Capacity: 4,
+		ChunkTTL: 4, // a chunk stays relevant for four publications
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("online fair caching: 30 publications, capacity 4, TTL 4")
+	fmt.Printf("\n%-6s %-8s %-22s %s\n", "time", "chunk", "cached on", "expired")
+
+	tally := make([]int, topo.NumNodes())
+	for i := 0; i < 30; i++ {
+		pub, err := sys.Publish()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, v := range pub.CacheNodes {
+			tally[v]++
+		}
+		if pub.Time <= 8 || len(pub.Expired) > 0 && pub.Time <= 12 {
+			fmt.Printf("%-6d %-8d %-22s %v\n", pub.Time, pub.Chunk, fmt.Sprint(pub.CacheNodes), pub.Expired)
+		}
+	}
+
+	fmt.Printf("\nafter 30 publications: %d chunks live, instantaneous gini %.3f\n",
+		len(sys.Live()), sys.Gini())
+
+	busiest, total := 0, 0
+	for _, c := range tally {
+		total += c
+		if c > busiest {
+			busiest = c
+		}
+	}
+	fmt.Printf("cumulative assignments: %d total, busiest node took %d (%.0f%%)\n",
+		total, busiest, 100*float64(busiest)/float64(total))
+	fmt.Println("\neviction frees storage and lowers fairness costs, so the same")
+	fmt.Println("devices are re-eligible later — the load stays fair indefinitely.")
+}

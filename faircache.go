@@ -1,0 +1,506 @@
+// Package faircache is a fair caching library for peer data sharing in
+// pervasive edge computing environments, reproducing the system of
+// Huang et al., "Fair Caching Algorithms for Peer Data Sharing in
+// Pervasive Edge Computing Environments" (ICDCS 2017).
+//
+// Edge devices in a multi-hop wireless network want to share data chunks
+// originating at a producer device. Caching chunks on peer devices
+// improves availability and latency, but because every device belongs to a
+// different owner, the caching load must be fair. This package places
+// chunks so as to minimise a joint objective of per-node Fairness Degree
+// Cost (storage pressure), path contention cost for the accessing phase,
+// and Steiner-tree contention cost for the dissemination phase — the sum
+// of per-chunk Connected Facility Location problems.
+//
+// Four placement algorithms are provided:
+//
+//   - Approximate: the paper's primal-dual approximation algorithm
+//     (Algorithm 1), preserving the 6.55 approximation ratio.
+//   - Distribute: the paper's distributed protocol (Algorithm 2) in which
+//     devices exchange NPI/CC/TIGHT/SPAN/FREEZE/NADMIN/BADMIN messages
+//     within a bounded hop range.
+//   - HopCountBaseline and ContentionBaseline: the two wireless caching
+//     baselines the paper compares against ([13] and [4]), including the
+//     multi-item subgraph extension of Sec. V-B.
+//   - Optimal: an exact branch-and-bound solver standing in for the
+//     paper's brute-force (PuLP) reference on small networks.
+//
+// Results expose the paper's evaluation metrics: total contention cost
+// split by phase, Gini coefficient, p-percentile fairness and the storage
+// concentration curve.
+package faircache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// Topology is a connected multi-hop wireless network over nodes 0..N-1.
+type Topology struct {
+	g *graph.Graph
+}
+
+// Errors returned by topology constructors and solvers.
+var (
+	ErrNotConnected = errors.New("faircache: topology must be connected")
+	ErrBadArgument  = errors.New("faircache: bad argument")
+)
+
+// Grid returns a rows×cols grid topology, the primary network model of
+// the paper's evaluation. Nodes are numbered row-major.
+func Grid(rows, cols int) (*Topology, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("%w: grid %dx%d too small", ErrBadArgument, rows, cols)
+	}
+	return &Topology{g: graph.NewGrid(rows, cols)}, nil
+}
+
+// Random returns a connected random geometric topology of n nodes in the
+// unit square with the standard connectivity radius, seeded
+// deterministically — the paper's "random network" model.
+func Random(n int, seed int64) (*Topology, error) {
+	return RandomWithRadius(n, graph.DefaultRadius(n), seed)
+}
+
+// RandomWithRadius is Random with an explicit connectivity radius.
+func RandomWithRadius(n int, radius float64, seed int64) (*Topology, error) {
+	rg := graph.RandomGeometric{N: n, Radius: radius}
+	g, _, err := rg.Generate(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	return &Topology{g: g}, nil
+}
+
+// Line returns a path topology 0-1-...-(n-1), e.g. vehicles along a road.
+func Line(n int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: line needs at least 2 nodes, got %d", ErrBadArgument, n)
+	}
+	return &Topology{g: graph.NewLine(n)}, nil
+}
+
+// Ring returns a cycle topology over n nodes (n >= 3).
+func Ring(n int) (*Topology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("%w: ring needs at least 3 nodes, got %d", ErrBadArgument, n)
+	}
+	return &Topology{g: graph.NewRing(n)}, nil
+}
+
+// Clustered returns a crowd topology: `clusters` dense groups of `size`
+// devices each, joined by sparse bridges — the structure of the paper's
+// outdoor-event scenario (groups around stages and food stands).
+func Clustered(clusters, size int, seed int64) (*Topology, error) {
+	c := graph.Clustered{
+		Clusters:  clusters,
+		Size:      size,
+		IntraProb: 0.4,
+		Bridges:   2,
+	}
+	g, err := c.Generate(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	return &Topology{g: g}, nil
+}
+
+// FromLinks builds a topology from an explicit link list.
+func FromLinks(n int, links [][2]int) (*Topology, error) {
+	g := graph.New(n)
+	for _, l := range links {
+		if err := g.AddEdge(l[0], l[1]); err != nil {
+			return nil, fmt.Errorf("faircache: %w", err)
+		}
+	}
+	if !g.Connected() {
+		return nil, ErrNotConnected
+	}
+	return &Topology{g: g}, nil
+}
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return t.g.NumNodes() }
+
+// NumLinks returns the link count.
+func (t *Topology) NumLinks() int { return t.g.NumEdges() }
+
+// Degree returns a node's neighbor count (its node contention cost).
+func (t *Topology) Degree(v int) int { return t.g.Degree(v) }
+
+// Neighbors returns a copy of a node's neighbor list.
+func (t *Topology) Neighbors(v int) []int {
+	return append([]int(nil), t.g.Neighbors(v)...)
+}
+
+// CentralNode returns the node with minimum total hop distance to all
+// others — a natural producer choice on random topologies.
+func (t *Topology) CentralNode() int { return graph.CentralNode(t.g) }
+
+// Options tunes the placement algorithms. The zero value means "paper
+// defaults" for every field.
+type Options struct {
+	// Capacity is the per-node cache capacity in chunks (default 5, the
+	// paper's setting).
+	Capacity int
+	// Capacities, when non-nil, sets heterogeneous per-node capacities
+	// and overrides Capacity (devices contribute different amounts of
+	// storage — the fairness model's motivating setting).
+	Capacities []int
+	// AlphaStep is U_α, the dual connection-bid increment (default 1).
+	AlphaStep float64
+	// GammaStep is U_γ, the relay-bid increment (default: calibrated
+	// 2.5 centralized / 2 distributed).
+	GammaStep float64
+	// SpanQuorum is M, the SPAN support needed to open a caching node
+	// (default 2).
+	SpanQuorum int
+	// FairnessWeight scales the Fairness Degree Cost term (default 1;
+	// set negative to request 0 for contention-only ablations).
+	FairnessWeight float64
+	// HopLimit bounds distributed control messages (default 2); used
+	// only by Distribute.
+	HopLimit int
+	// Lambda is the per-cache cost of the baselines; 0 selects the
+	// calibrated RecommendedLambda. Used only by the baselines.
+	Lambda float64
+	// SearchBudget caps the exact solver's branch-and-bound nodes per
+	// chunk (0 = exhaustive). Used only by Optimal.
+	SearchBudget int
+	// SearchWidth caps the exact solver's caching-set size per chunk
+	// (0 = the exact Steiner routine's limit). Used only by Optimal.
+	SearchWidth int
+	// BatteryLevels holds per-node battery levels in (0, 1] for the
+	// battery-fairness extension (paper footnote 1); nil means all full.
+	// Only meaningful with BatteryWeight > 0.
+	BatteryLevels []float64
+	// BatteryWeight scales the battery Fairness Degree Cost in the
+	// weighted summation with the storage term (default 0: disabled).
+	BatteryWeight float64
+	// ChunkTTL is the online system's chunk lifetime in publications
+	// (0 = one capacity-worth; negative = never expire). Used only by
+	// NewOnline.
+	ChunkTTL int
+	// GreedyConFL switches the centralized algorithm's per-chunk solver
+	// to the guarantee-free greedy heuristic (related work [23]) — an
+	// ablation against the default primal-dual algorithm.
+	GreedyConFL bool
+	// ImproveSteiner applies key-path local search to the centralized
+	// algorithm's dissemination trees after the MST 2-approximation.
+	ImproveSteiner bool
+}
+
+// Algorithm identifies a placement algorithm in results and reports.
+type Algorithm string
+
+// The five algorithms of the paper's evaluation.
+const (
+	AlgorithmApprox      Algorithm = "Appx"
+	AlgorithmDistributed Algorithm = "Dist"
+	AlgorithmHopCount    Algorithm = "Hopc"
+	AlgorithmContention  Algorithm = "Cont"
+	AlgorithmOptimal     Algorithm = "Brtf"
+)
+
+// Result is the outcome of a placement run.
+type Result struct {
+	// Algorithm that produced the placement.
+	Algorithm Algorithm
+	// Producer is the data producer node (never caches).
+	Producer int
+	// Chunks is the number of distinct data chunks placed.
+	Chunks int
+	// Capacity is the per-node cache capacity used.
+	Capacity int
+	// Holders[n] lists the nodes caching chunk n.
+	Holders [][]int
+	// Counts[i] is the number of chunks cached on node i.
+	Counts []int
+	// Messages counts distributed protocol messages by type (Distribute
+	// only; nil otherwise).
+	Messages map[string]int
+	// ProvenOptimal reports whether an Optimal run completed its search
+	// exhaustively (always false for other algorithms).
+	ProvenOptimal bool
+
+	topo     *Topology
+	strategy metrics.AccessStrategy
+	base     *cache.State // pre-placement state (capacities, batteries)
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{
+		Capacity:       5,
+		FairnessWeight: 1,
+		HopLimit:       2,
+	}
+	if o == nil {
+		return out
+	}
+	if o.Capacity > 0 {
+		out.Capacity = o.Capacity
+	}
+	out.Capacities = o.Capacities
+	out.AlphaStep = o.AlphaStep
+	out.GammaStep = o.GammaStep
+	out.SpanQuorum = o.SpanQuorum
+	if o.FairnessWeight != 0 {
+		out.FairnessWeight = o.FairnessWeight
+	}
+	if out.FairnessWeight < 0 {
+		out.FairnessWeight = 0
+	}
+	if o.HopLimit > 0 {
+		out.HopLimit = o.HopLimit
+	}
+	out.Lambda = o.Lambda
+	out.SearchBudget = o.SearchBudget
+	out.SearchWidth = o.SearchWidth
+	out.BatteryLevels = o.BatteryLevels
+	if o.BatteryWeight > 0 {
+		out.BatteryWeight = o.BatteryWeight
+	}
+	out.ChunkTTL = o.ChunkTTL
+	out.GreedyConFL = o.GreedyConFL
+	out.ImproveSteiner = o.ImproveSteiner
+	return out
+}
+
+// Approximate runs the paper's centralized approximation algorithm
+// (Algorithm 1), placing chunk ids 0..chunks-1.
+func Approximate(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	coreOpts := core.DefaultOptions()
+	coreOpts.FairnessWeight = o.FairnessWeight
+	coreOpts.BatteryWeight = o.BatteryWeight
+	if o.GreedyConFL {
+		coreOpts.Strategy = core.Greedy
+	}
+	coreOpts.ImproveSteiner = o.ImproveSteiner
+	if o.AlphaStep > 0 {
+		coreOpts.ConFL.AlphaStep = o.AlphaStep
+	}
+	if o.GammaStep > 0 {
+		coreOpts.ConFL.GammaStep = o.GammaStep
+	}
+	if o.SpanQuorum > 0 {
+		coreOpts.ConFL.SpanQuorum = o.SpanQuorum
+	}
+	solver, err := core.New(t.g, coreOpts)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	st := newState(t, o)
+	base := st.Clone()
+	p, err := solver.Place(producer, chunks, st)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	return newResult(t, AlgorithmApprox, producer, chunks, o.Capacity, p.CacheNodes(), st, base, metrics.AccessCostNearest), nil
+}
+
+// Distribute runs the paper's distributed protocol (Algorithm 2) on a
+// deterministic message-round simulator.
+func Distribute(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	distOpts := dist.DefaultOptions()
+	distOpts.K = o.HopLimit
+	distOpts.FairnessWeight = o.FairnessWeight
+	distOpts.BatteryWeight = o.BatteryWeight
+	if o.AlphaStep > 0 {
+		distOpts.AlphaStep = o.AlphaStep
+	}
+	if o.GammaStep > 0 {
+		distOpts.GammaStep = o.GammaStep
+	}
+	if o.SpanQuorum > 0 {
+		distOpts.SpanQuorum = o.SpanQuorum
+	}
+	protocol, err := dist.New(t.g, distOpts)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	st := newState(t, o)
+	base := st.Clone()
+	p, err := protocol.PlaceChunks(producer, chunks, st)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	res := newResult(t, AlgorithmDistributed, producer, chunks, o.Capacity, p.CacheNodes(), st, base, metrics.AccessCostNearest)
+	res.Messages = p.MessagesByKind()
+	return res, nil
+}
+
+// HopCountBaseline runs the hop-count greedy baseline of Nuggehalli et
+// al. [13] with the paper's multi-item extension.
+func HopCountBaseline(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
+	return runBaseline(t, producer, chunks, opts, baseline.HopCount, AlgorithmHopCount, metrics.AccessHopNearest)
+}
+
+// ContentionBaseline runs the contention-aware greedy baseline of Sung et
+// al. [4] with the paper's multi-item extension.
+func ContentionBaseline(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
+	return runBaseline(t, producer, chunks, opts, baseline.Contention, AlgorithmContention, metrics.AccessTopologyNearest)
+}
+
+func runBaseline(t *Topology, producer, chunks int, opts *Options, alg baseline.Algorithm, name Algorithm, strategy metrics.AccessStrategy) (*Result, error) {
+	o := opts.withDefaults()
+	lambda := o.Lambda
+	if lambda <= 0 {
+		lambda = baseline.RecommendedLambda(alg, t.NumNodes())
+	}
+	st := newState(t, o)
+	base := st.Clone()
+	p, err := baseline.PlaceChunks(t.g, producer, chunks, st, alg, lambda)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	return newResult(t, name, producer, chunks, o.Capacity, p.Holders, st, base, strategy), nil
+}
+
+// Optimal runs the exact per-chunk branch-and-bound solver — the paper's
+// brute-force reference. Practical only on small networks; set
+// Options.SearchBudget to bound the search (the result then reports
+// ProvenOptimal = false when the budget was hit).
+func Optimal(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
+	o := opts.withDefaults()
+	exOpts := exact.DefaultOptions()
+	exOpts.FairnessWeight = o.FairnessWeight
+	exOpts.NodeBudget = o.SearchBudget
+	exOpts.MaxSubsetSize = o.SearchWidth
+	st := newState(t, o)
+	base := st.Clone()
+	p, err := exact.PlaceChunks(t.g, producer, chunks, st, exOpts)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	res := newResult(t, AlgorithmOptimal, producer, chunks, o.Capacity, p.CacheNodes(), st, base, metrics.AccessCostNearest)
+	res.ProvenOptimal = p.Optimal()
+	return res, nil
+}
+
+// newState builds the initial cache state for a run, applying battery
+// levels when the battery-fairness extension is enabled.
+func newState(t *Topology, o Options) *cache.State {
+	var st *cache.State
+	if len(o.Capacities) > 0 {
+		caps := make([]int, t.NumNodes())
+		for i := range caps {
+			caps[i] = o.Capacity
+			if i < len(o.Capacities) {
+				caps[i] = o.Capacities[i]
+			}
+		}
+		st = cache.NewStateWithCapacities(caps)
+	} else {
+		st = cache.NewState(t.NumNodes(), o.Capacity)
+	}
+	for i, level := range o.BatteryLevels {
+		if i >= t.NumNodes() {
+			break
+		}
+		st.SetBattery(i, level)
+	}
+	return st
+}
+
+func newResult(t *Topology, alg Algorithm, producer, chunks, capacity int, holders [][]int, st, base *cache.State, strategy metrics.AccessStrategy) *Result {
+	return &Result{
+		Algorithm: alg,
+		Producer:  producer,
+		Chunks:    chunks,
+		Capacity:  capacity,
+		Holders:   holders,
+		Counts:    st.Counts(),
+		topo:      t,
+		strategy:  strategy,
+		base:      base,
+	}
+}
+
+// CostReport is the contention-cost evaluation of a placement, split by
+// phase as in the paper's Fig. 2.
+type CostReport struct {
+	// Access is the accessing-phase contention cost (every node fetches
+	// every chunk).
+	Access float64
+	// Dissemination is the dissemination-phase cost (per-chunk Steiner
+	// trees, replayed incrementally).
+	Dissemination float64
+	// PerChunk holds each chunk's access + dissemination cost (Fig. 9).
+	PerChunk []float64
+	// AccessDelay estimates the accessing-phase latency under the
+	// linearised 802.11 DCF model of Sec. III-C.
+	AccessDelay time.Duration
+}
+
+// Total returns Access + Dissemination.
+func (c *CostReport) Total() float64 { return c.Access + c.Dissemination }
+
+// ContentionCost evaluates the placement under the paper's uniform replay
+// metric, using the algorithm's own accessing strategy.
+func (r *Result) ContentionCost() (*CostReport, error) {
+	ev, err := metrics.Evaluate(r.topo.g, r.base, r.Producer, r.Holders, r.strategy)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	report := &CostReport{
+		Access:        ev.Access,
+		Dissemination: ev.Dissemination,
+		PerChunk:      make([]float64, len(ev.PerChunk)),
+		AccessDelay:   time.Duration(ev.AccessDelay * float64(time.Microsecond)),
+	}
+	for i, pc := range ev.PerChunk {
+		report.PerChunk[i] = pc.Total()
+	}
+	return report, nil
+}
+
+// Gini returns the Gini coefficient of the per-node caching load
+// (Sec. V): 0 is perfectly fair, values toward 1 are concentrated.
+func (r *Result) Gini() float64 { return metrics.Gini(r.Counts) }
+
+// PercentileFairness returns the fraction of nodes needed to hold p
+// percent of all cached copies (the paper's p-percentile fairness;
+// ideally p%).
+func (r *Result) PercentileFairness(p float64) (float64, error) {
+	v, err := metrics.PercentileFairness(r.Counts, p)
+	if err != nil {
+		return 0, fmt.Errorf("faircache: %w", err)
+	}
+	return v, nil
+}
+
+// StorageCurve returns, for k = 1..N, the fraction of all cached copies
+// held by the k most-loaded nodes (Fig. 6).
+func (r *Result) StorageCurve() []float64 { return metrics.StorageCurve(r.Counts) }
+
+// DistinctCacheNodes returns how many nodes cache at least one chunk.
+func (r *Result) DistinctCacheNodes() int {
+	n := 0
+	for _, c := range r.Counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalCopies returns the total number of cached chunk copies.
+func (r *Result) TotalCopies() int {
+	total := 0
+	for _, c := range r.Counts {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,337 @@
+// Package baseline implements the two comparison algorithms from the
+// paper's evaluation:
+//
+//   - HopCount ("Hopc", Nuggehalli et al. [13]): greedy cache placement
+//     minimising total hop-count delay plus λ per cache.
+//   - Contention ("Cont", Sung et al. [4]): the same greedy placement with
+//     the contention cost of the network topology as the delay metric.
+//
+// Both select caching nodes from the topology alone — they do not account
+// for already-cached data — so repeated invocations pick the same node set.
+// The paper extends them to multiple data items by filling the chosen set
+// to capacity, then re-running on the subgraph of unchosen nodes (largest
+// connected component), and so on (Sec. V-B); PlaceChunks implements that
+// extension.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/contention"
+	"repro/internal/graph"
+)
+
+// Algorithm selects the delay metric of the greedy placement.
+type Algorithm int
+
+const (
+	// HopCount uses BFS hop distance (Nuggehalli et al. [13]).
+	HopCount Algorithm = iota + 1
+	// Contention uses the topology's path contention cost (Sung et
+	// al. [4]), evaluated with empty caches: these baselines ignore
+	// already-cached data by design.
+	Contention
+)
+
+// String returns the short name used in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case HopCount:
+		return "Hopc"
+	case Contention:
+		return "Cont"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// DefaultLambda is the nominal per-cache cost λ from the paper ("we set
+// the λ in both algorithms to 1"). The paper does not state the cost
+// normalisation that λ=1 is relative to; use RecommendedLambda to obtain a
+// value calibrated against this package's cost scales.
+const DefaultLambda = 1.0
+
+// RecommendedLambda returns the per-cache cost calibrated so the baselines
+// reproduce the caching-set sizes reported in the paper's 6×6-grid
+// evaluation (Hop-Count concentrates on 1-2 nodes — 50% of all data on one
+// node; Contention selects a moderate set of ~10 — 75-percentile fairness
+// ≈ 0.22). The value scales with the network size n because both greedy
+// objectives sum distances over all nodes.
+func RecommendedLambda(alg Algorithm, n int) float64 {
+	switch alg {
+	case HopCount:
+		return float64(n) / 2
+	case Contention:
+		return float64(n) / 4
+	default:
+		return DefaultLambda
+	}
+}
+
+// Errors returned by the baseline algorithms.
+var (
+	ErrBadAlgorithm = errors.New("baseline: unknown algorithm")
+	ErrNoCandidates = errors.New("baseline: no candidate nodes")
+)
+
+// SelectNodes runs the greedy facility placement on g: starting from the
+// producer (a free facility; pass producer < 0 for subgraph rounds without
+// one), it repeatedly adds the node that most reduces
+//
+//	Σ_j min_{i ∈ F ∪ {producer}} d(i, j)  +  λ·|F|
+//
+// and stops when no addition improves the total. The returned set is in
+// selection order and never contains the producer.
+func SelectNodes(g *graph.Graph, producer int, alg Algorithm, lambda float64) ([]int, error) {
+	dist, err := distanceMatrix(g, alg)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 || (producer < 0 && n < 1) {
+		return nil, ErrNoCandidates
+	}
+
+	// best[j]: current service cost of demand j.
+	best := make([]float64, n)
+	for j := range best {
+		if producer >= 0 {
+			best[j] = dist[producer][j]
+		} else {
+			best[j] = math.Inf(1)
+		}
+	}
+	chosen := make([]bool, n)
+	if producer >= 0 {
+		chosen[producer] = true
+	}
+
+	var selected []int
+	current := total(best) + lambda*float64(len(selected))
+	for {
+		bestNode := -1
+		bestCost := current
+		for v := 0; v < n; v++ {
+			if chosen[v] {
+				continue
+			}
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += math.Min(best[j], dist[v][j])
+			}
+			cost := sum + lambda*float64(len(selected)+1)
+			if cost < bestCost-1e-12 {
+				bestCost, bestNode = cost, v
+			}
+		}
+		if bestNode < 0 {
+			break
+		}
+		chosen[bestNode] = true
+		selected = append(selected, bestNode)
+		for j := 0; j < n; j++ {
+			best[j] = math.Min(best[j], dist[bestNode][j])
+		}
+		current = bestCost
+	}
+	if producer < 0 && len(selected) == 0 {
+		// Subgraph rounds must cache somewhere: force the 1-median even
+		// when λ exceeds its savings.
+		med, err := oneMedian(dist)
+		if err != nil {
+			return nil, err
+		}
+		selected = append(selected, med)
+	}
+	return selected, nil
+}
+
+// distanceMatrix evaluates the algorithm's delay metric on the topology.
+func distanceMatrix(g *graph.Graph, alg Algorithm) ([][]float64, error) {
+	switch alg {
+	case HopCount:
+		hops := g.AllPairsHops()
+		dist := make([][]float64, len(hops))
+		for i, row := range hops {
+			dist[i] = make([]float64, len(row))
+			for j, h := range row {
+				if h == graph.Unreachable {
+					dist[i][j] = math.Inf(1)
+				} else {
+					dist[i][j] = float64(h)
+				}
+			}
+		}
+		return dist, nil
+	case Contention:
+		// Empty state: the baseline's contention metric is topology-only.
+		st := cache.NewState(g.NumNodes(), 1)
+		return contention.ComputeCosts(g, st).C, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadAlgorithm, int(alg))
+	}
+}
+
+func oneMedian(dist [][]float64) (int, error) {
+	best, bestSum := -1, math.Inf(1)
+	for v := range dist {
+		if s := total(dist[v]); s < bestSum {
+			best, bestSum = v, s
+		}
+	}
+	if best < 0 {
+		return 0, ErrNoCandidates
+	}
+	return best, nil
+}
+
+func total(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Round records one set-selection round of the multi-item extension.
+type Round struct {
+	// Nodes is the set selected in this round (original node ids).
+	Nodes []int
+	// FirstChunk is the first chunk id stored during this round.
+	FirstChunk int
+}
+
+// Placement is the outcome of the multi-item extension.
+type Placement struct {
+	// Producer is the data producer node (never caches).
+	Producer int
+	// Rounds lists the selected sets in order.
+	Rounds []Round
+	// Holders[n] lists the nodes caching chunk n.
+	Holders [][]int
+	// Uncached lists chunk ids that found no storage anywhere.
+	Uncached []int
+	// State is the final cache state.
+	State *cache.State
+}
+
+// PlaceChunks runs the paper's multi-item extension of a baseline
+// algorithm: chunks 0..chunks-1 are replicated across the currently
+// selected set until it is full, then a new set is selected from the
+// largest connected component of the unchosen remainder. st is mutated.
+func PlaceChunks(g *graph.Graph, producer, chunks int, st *cache.State, alg Algorithm, lambda float64) (*Placement, error) {
+	if producer < 0 || producer >= g.NumNodes() {
+		return nil, fmt.Errorf("baseline: producer %d out of range [0,%d)", producer, g.NumNodes())
+	}
+	if chunks <= 0 {
+		return nil, fmt.Errorf("baseline: chunk count %d must be positive", chunks)
+	}
+	if st == nil || st.NumNodes() != g.NumNodes() {
+		return nil, errors.New("baseline: cache state size mismatch")
+	}
+
+	p := &Placement{
+		Producer: producer,
+		Holders:  make([][]int, chunks),
+		State:    st,
+	}
+	used := make([]bool, g.NumNodes()) // nodes consumed by earlier rounds
+	used[producer] = true
+
+	var curSet []int
+	for n := 0; n < chunks; n++ {
+		if !hasVacancy(st, curSet) {
+			next, err := nextSet(g, producer, st, used, alg, lambda, len(p.Rounds) == 0)
+			if err != nil {
+				return nil, err
+			}
+			if len(next) > 0 {
+				curSet = next
+				for _, v := range curSet {
+					used[v] = true
+				}
+				p.Rounds = append(p.Rounds, Round{Nodes: curSet, FirstChunk: n})
+			} else {
+				curSet = nil
+			}
+		}
+		if len(curSet) == 0 {
+			p.Uncached = append(p.Uncached, n)
+			continue
+		}
+		stored := false
+		for _, v := range curSet {
+			if st.Free(v) > 0 {
+				if err := st.Store(v, n); err != nil {
+					return nil, fmt.Errorf("baseline: store chunk %d on %d: %w", n, v, err)
+				}
+				p.Holders[n] = append(p.Holders[n], v)
+				stored = true
+			}
+		}
+		if !stored {
+			p.Uncached = append(p.Uncached, n)
+		}
+	}
+	return p, nil
+}
+
+// hasVacancy reports whether any node of the set can still store a chunk.
+func hasVacancy(st *cache.State, set []int) bool {
+	for _, v := range set {
+		if st.Free(v) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nextSet selects the next caching set. The first round runs on the whole
+// graph with the producer as a free facility; later rounds run on the
+// largest connected component of the unchosen remainder.
+func nextSet(g *graph.Graph, producer int, st *cache.State, used []bool, alg Algorithm, lambda float64, firstRound bool) ([]int, error) {
+	if firstRound {
+		sel, err := SelectNodes(g, producer, alg, lambda)
+		if err != nil {
+			return nil, err
+		}
+		return filterWithCapacity(st, sel), nil
+	}
+	var remaining []int
+	for v := 0; v < g.NumNodes(); v++ {
+		if !used[v] && st.Capacity(v) > 0 {
+			remaining = append(remaining, v)
+		}
+	}
+	if len(remaining) == 0 {
+		return nil, nil
+	}
+	sub, orig := g.InducedSubgraph(remaining)
+	comp := sub.LargestComponent()
+	if len(comp) == 0 {
+		return nil, nil
+	}
+	compGraph, compOrig := sub.InducedSubgraph(comp)
+	sel, err := SelectNodes(compGraph, -1, alg, lambda)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, len(sel))
+	for _, v := range sel {
+		out = append(out, orig[compOrig[v]])
+	}
+	return filterWithCapacity(st, out), nil
+}
+
+func filterWithCapacity(st *cache.State, nodes []int) []int {
+	var out []int
+	for _, v := range nodes {
+		if st.Free(v) > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package cache
+
+import "math"
+
+// Battery fairness (paper, footnote 1 of Sec. III-B): "A Fairness Degree
+// Cost on the battery can be defined similarly and considered together in
+// weighted summation form of the two costs." Battery level is a fraction
+// in (0, 1]; by analogy with Eq. (1) the cost is consumed/remaining:
+//
+//	f_b(i) = (1 − b_i) / b_i
+//
+// 0 for a full battery, +Inf for a dead one (never selected). Levels
+// default to 1 (fully charged) so the extension is inert unless set.
+
+// SetBattery records node i's battery level, clamped to [0, 1].
+func (s *State) SetBattery(i int, level float64) {
+	if i < 0 || i >= len(s.capacity) {
+		return
+	}
+	if s.battery == nil {
+		s.battery = make([]float64, len(s.capacity))
+		for k := range s.battery {
+			s.battery[k] = 1
+		}
+	}
+	if level < 0 {
+		level = 0
+	}
+	if level > 1 {
+		level = 1
+	}
+	s.battery[i] = level
+}
+
+// Battery returns node i's battery level (1 when never set).
+func (s *State) Battery(i int) float64 {
+	if s.battery == nil {
+		return 1
+	}
+	return s.battery[i]
+}
+
+// BatteryFairnessCost returns the battery Fairness Degree Cost of node i:
+// (1 − b)/b, with +Inf for a dead battery.
+func (s *State) BatteryFairnessCost(i int) float64 {
+	b := s.Battery(i)
+	if b <= 0 {
+		return math.Inf(1)
+	}
+	return (1 - b) / b
+}
+
+// CombinedFairnessCost returns the weighted summation of the storage and
+// battery Fairness Degree Costs, the form suggested by the paper's
+// footnote. Either +Inf (full storage or dead battery) dominates.
+func (s *State) CombinedFairnessCost(i int, storageWeight, batteryWeight float64) float64 {
+	storage := s.FairnessCost(i)
+	if math.IsInf(storage, 1) {
+		return math.Inf(1)
+	}
+	total := storageWeight * storage
+	if batteryWeight > 0 {
+		battery := s.BatteryFairnessCost(i)
+		if math.IsInf(battery, 1) {
+			return math.Inf(1)
+		}
+		total += batteryWeight * battery
+	}
+	return total
+}

@@ -1,0 +1,73 @@
+package cache
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBatteryDefaultsFull(t *testing.T) {
+	st := NewState(3, 5)
+	if got := st.Battery(1); got != 1 {
+		t.Errorf("default Battery = %g, want 1", got)
+	}
+	if got := st.BatteryFairnessCost(1); got != 0 {
+		t.Errorf("default BatteryFairnessCost = %g, want 0", got)
+	}
+}
+
+func TestSetBatteryClampsAndCosts(t *testing.T) {
+	st := NewState(3, 5)
+	st.SetBattery(0, 0.5)
+	if got := st.BatteryFairnessCost(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("cost at 50%% = %g, want 1", got) // (1-0.5)/0.5
+	}
+	st.SetBattery(1, 0.2)
+	if got := st.BatteryFairnessCost(1); math.Abs(got-4) > 1e-12 {
+		t.Errorf("cost at 20%% = %g, want 4", got)
+	}
+	st.SetBattery(2, -3)
+	if got := st.BatteryFairnessCost(2); !math.IsInf(got, 1) {
+		t.Errorf("cost at clamped 0 = %g, want +Inf", got)
+	}
+	st.SetBattery(0, 9)
+	if got := st.Battery(0); got != 1 {
+		t.Errorf("level clamped above = %g, want 1", got)
+	}
+	st.SetBattery(99, 0.5) // out of range: no-op
+}
+
+func TestCombinedFairnessCost(t *testing.T) {
+	st := NewState(2, 4)
+	if err := st.Store(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	st.SetBattery(0, 0.5)
+	// storage: 1/3, battery: 1; weights 1 and 2 -> 1/3 + 2.
+	got := st.CombinedFairnessCost(0, 1, 2)
+	want := 1.0/3.0 + 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("combined = %g, want %g", got, want)
+	}
+	// Battery weight 0 ignores even a dead battery.
+	st.SetBattery(1, 0)
+	if got := st.CombinedFairnessCost(1, 1, 0); got != 0 {
+		t.Errorf("combined with weight 0 = %g, want 0 (empty cache)", got)
+	}
+	// Dead battery with positive weight dominates.
+	if got := st.CombinedFairnessCost(1, 1, 1); !math.IsInf(got, 1) {
+		t.Errorf("combined with dead battery = %g, want +Inf", got)
+	}
+}
+
+func TestCloneCopiesBattery(t *testing.T) {
+	st := NewState(2, 5)
+	st.SetBattery(0, 0.3)
+	c := st.Clone()
+	c.SetBattery(0, 0.9)
+	if st.Battery(0) != 0.3 {
+		t.Errorf("Clone shares battery storage: %g", st.Battery(0))
+	}
+	if c.Battery(0) != 0.9 {
+		t.Errorf("clone battery = %g", c.Battery(0))
+	}
+}

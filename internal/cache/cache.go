@@ -1,0 +1,181 @@
+// Package cache tracks per-node caching storage for the fair-caching
+// system: which node holds which chunk, how much capacity remains, and the
+// Fairness Degree Cost of Eq. (1) that the solvers minimise.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Errors reported by State mutations.
+var (
+	// ErrFull reports a store on a node whose cache is at capacity.
+	ErrFull = errors.New("cache: node storage full")
+	// ErrDuplicate reports storing a chunk a node already holds.
+	ErrDuplicate = errors.New("cache: chunk already stored on node")
+	// ErrNodeOutOfRange reports a node id outside [0, N).
+	ErrNodeOutOfRange = errors.New("cache: node out of range")
+)
+
+// State is the caching storage of every node in the network. All chunks
+// have equal size, so capacity and usage are measured in chunks, exactly as
+// in the paper ("we define S_tot(i) as the total number of chunks the node
+// can cache, and S(i) as the number of chunks the node has cached").
+type State struct {
+	capacity []int
+	stored   []map[int]struct{}
+	// battery holds per-node battery levels in (0, 1]; nil means all
+	// full (the battery-fairness extension of footnote 1 is inert).
+	battery []float64
+}
+
+// NewState returns a State for n nodes that can each hold capacity chunks.
+// The paper's evaluation uses capacity 5.
+func NewState(n, capacity int) *State {
+	caps := make([]int, n)
+	for i := range caps {
+		caps[i] = capacity
+	}
+	return NewStateWithCapacities(caps)
+}
+
+// NewStateWithCapacities returns a State with heterogeneous per-node
+// capacities (the fairness model explicitly supports nodes contributing
+// different amounts of storage).
+func NewStateWithCapacities(capacities []int) *State {
+	st := &State{
+		capacity: append([]int(nil), capacities...),
+		stored:   make([]map[int]struct{}, len(capacities)),
+	}
+	for i := range st.stored {
+		st.stored[i] = make(map[int]struct{})
+	}
+	return st
+}
+
+// NumNodes returns the number of nodes tracked.
+func (s *State) NumNodes() int { return len(s.capacity) }
+
+// Capacity returns S_tot(i), the total chunk capacity of node i.
+func (s *State) Capacity(i int) int { return s.capacity[i] }
+
+// Stored returns S(i), the number of chunks node i currently caches.
+func (s *State) Stored(i int) int { return len(s.stored[i]) }
+
+// Free returns the remaining capacity of node i.
+func (s *State) Free(i int) int { return s.capacity[i] - len(s.stored[i]) }
+
+// Has reports whether node i caches chunk n.
+func (s *State) Has(i, n int) bool {
+	_, ok := s.stored[i][n]
+	return ok
+}
+
+// Store places chunk n on node i. It returns ErrFull when the node is at
+// capacity and ErrDuplicate when the node already holds the chunk.
+func (s *State) Store(i, n int) error {
+	if i < 0 || i >= len(s.capacity) {
+		return fmt.Errorf("%w: %d", ErrNodeOutOfRange, i)
+	}
+	if s.Has(i, n) {
+		return fmt.Errorf("%w: chunk %d on node %d", ErrDuplicate, n, i)
+	}
+	if s.Free(i) <= 0 {
+		return fmt.Errorf("%w: node %d (capacity %d)", ErrFull, i, s.capacity[i])
+	}
+	s.stored[i][n] = struct{}{}
+	return nil
+}
+
+// Evict removes chunk n from node i. Evicting an absent chunk is a no-op;
+// it exists so cache-replacement extensions can reuse the state type.
+func (s *State) Evict(i, n int) {
+	if i < 0 || i >= len(s.capacity) {
+		return
+	}
+	delete(s.stored[i], n)
+}
+
+// Chunks returns the chunk ids cached on node i, sorted.
+func (s *State) Chunks(i int) []int {
+	out := make([]int, 0, len(s.stored[i]))
+	for n := range s.stored[i] {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Holders returns the nodes caching chunk n, sorted.
+func (s *State) Holders(n int) []int {
+	var out []int
+	for i := range s.stored {
+		if s.Has(i, n) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Counts returns the number of cached chunks per node (the t_i of the Gini
+// coefficient in Sec. V).
+func (s *State) Counts() []int {
+	out := make([]int, len(s.stored))
+	for i := range s.stored {
+		out[i] = len(s.stored[i])
+	}
+	return out
+}
+
+// TotalStored returns the total number of cached chunk copies.
+func (s *State) TotalStored() int {
+	total := 0
+	for i := range s.stored {
+		total += len(s.stored[i])
+	}
+	return total
+}
+
+// FairnessCost returns the Fairness Degree Cost of node i (Eq. 1):
+//
+//	f_i = S(i) / (S_tot(i) − S(i))
+//
+// It is 0 for an empty cache and +Inf for a full one, so full nodes are
+// never selected again.
+func (s *State) FairnessCost(i int) float64 {
+	free := s.Free(i)
+	if free <= 0 {
+		return math.Inf(1)
+	}
+	return float64(s.Stored(i)) / float64(free)
+}
+
+// FairnessCosts returns the Fairness Degree Cost of every node.
+func (s *State) FairnessCosts() []float64 {
+	out := make([]float64, s.NumNodes())
+	for i := range out {
+		out[i] = s.FairnessCost(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := &State{
+		capacity: append([]int(nil), s.capacity...),
+		stored:   make([]map[int]struct{}, len(s.stored)),
+	}
+	if s.battery != nil {
+		c.battery = append([]float64(nil), s.battery...)
+	}
+	for i, set := range s.stored {
+		c.stored[i] = make(map[int]struct{}, len(set))
+		for n := range set {
+			c.stored[i][n] = struct{}{}
+		}
+	}
+	return c
+}

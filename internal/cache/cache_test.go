@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreAndQuery(t *testing.T) {
+	st := NewState(3, 2)
+	if err := st.Store(1, 7); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if !st.Has(1, 7) {
+		t.Error("Has(1,7) = false after Store")
+	}
+	if st.Stored(1) != 1 || st.Free(1) != 1 {
+		t.Errorf("Stored/Free = %d/%d, want 1/1", st.Stored(1), st.Free(1))
+	}
+	if got := st.Chunks(1); len(got) != 1 || got[0] != 7 {
+		t.Errorf("Chunks(1) = %v, want [7]", got)
+	}
+	if got := st.Holders(7); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Holders(7) = %v, want [1]", got)
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	st := NewState(2, 1)
+	if err := st.Store(5, 0); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Errorf("out-of-range Store error = %v, want ErrNodeOutOfRange", err)
+	}
+	if err := st.Store(0, 1); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	if err := st.Store(0, 1); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate Store error = %v, want ErrDuplicate", err)
+	}
+	if err := st.Store(0, 2); !errors.Is(err, ErrFull) {
+		t.Errorf("full Store error = %v, want ErrFull", err)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	st := NewState(1, 1)
+	if err := st.Store(0, 3); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	st.Evict(0, 3)
+	if st.Has(0, 3) {
+		t.Error("chunk still present after Evict")
+	}
+	st.Evict(0, 99) // absent chunk: no-op
+	st.Evict(9, 0)  // out of range: no-op
+	if err := st.Store(0, 4); err != nil {
+		t.Errorf("Store after Evict: %v", err)
+	}
+}
+
+func TestFairnessCostEquation(t *testing.T) {
+	st := NewState(1, 5)
+	// f = S / (S_tot - S): 0/5, 1/4, 2/3, 3/2, 4/1, then +Inf.
+	want := []float64{0, 0.25, 2.0 / 3.0, 1.5, 4}
+	for k, w := range want {
+		if got := st.FairnessCost(0); math.Abs(got-w) > 1e-12 {
+			t.Errorf("FairnessCost after %d stores = %g, want %g", k, got, w)
+		}
+		if err := st.Store(0, k); err != nil {
+			t.Fatalf("Store %d: %v", k, err)
+		}
+	}
+	if got := st.FairnessCost(0); !math.IsInf(got, 1) {
+		t.Errorf("FairnessCost at capacity = %g, want +Inf", got)
+	}
+}
+
+func TestFairnessCostsVector(t *testing.T) {
+	st := NewStateWithCapacities([]int{2, 4})
+	if err := st.Store(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Store(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	fc := st.FairnessCosts()
+	if math.Abs(fc[0]-1) > 1e-12 { // 1/(2-1)
+		t.Errorf("fc[0] = %g, want 1", fc[0])
+	}
+	if math.Abs(fc[1]-1.0/3.0) > 1e-12 { // 1/(4-1)
+		t.Errorf("fc[1] = %g, want 1/3", fc[1])
+	}
+}
+
+func TestCountsAndTotal(t *testing.T) {
+	st := NewState(3, 5)
+	for _, n := range []int{0, 1, 2} {
+		if err := st.Store(1, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Store(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	counts := st.Counts()
+	if counts[0] != 0 || counts[1] != 3 || counts[2] != 1 {
+		t.Errorf("Counts() = %v, want [0 3 1]", counts)
+	}
+	if st.TotalStored() != 4 {
+		t.Errorf("TotalStored() = %d, want 4", st.TotalStored())
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	st := NewState(2, 3)
+	if err := st.Store(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Clone()
+	if err := c.Store(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st.Has(0, 2) {
+		t.Error("Clone shares storage with original")
+	}
+	if !c.Has(0, 1) {
+		t.Error("Clone lost existing chunk")
+	}
+}
+
+// Property: for any sequence of stores, invariants hold: 0 <= S(i) <=
+// capacity, fairness cost is non-decreasing in S(i), and TotalStored equals
+// the sum of Counts.
+func TestStateInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, capRaw uint8, ops uint8) bool {
+		n := 1 + int(nRaw)%8
+		capacity := 1 + int(capRaw)%6
+		rng := rand.New(rand.NewSource(seed))
+		st := NewState(n, capacity)
+		prevCost := make([]float64, n)
+		for k := 0; k < int(ops); k++ {
+			i := rng.Intn(n)
+			chunk := rng.Intn(10)
+			before := st.FairnessCost(i)
+			err := st.Store(i, chunk)
+			if err == nil {
+				after := st.FairnessCost(i)
+				if after < before {
+					return false // fairness cost must not decrease on store
+				}
+			}
+			prevCost[i] = st.FairnessCost(i)
+			if st.Stored(i) > st.Capacity(i) || st.Stored(i) < 0 {
+				return false
+			}
+		}
+		sum := 0
+		for _, c := range st.Counts() {
+			sum += c
+		}
+		return sum == st.TotalStored()
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

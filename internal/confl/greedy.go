@@ -1,0 +1,93 @@
+package confl
+
+import (
+	"math"
+	"sort"
+)
+
+// SolveGreedy solves the same per-chunk ConFL instance with a greedy
+// heuristic instead of the primal-dual dual growth. The paper's related
+// work (Sec. II) notes that greedy ConFL solutions [23] lack approximation
+// guarantees but can perform well in practice; this implementation exists
+// as an ablation point against the guaranteed primal-dual algorithm.
+//
+// The greedy rule: starting from the producer alone, repeatedly open the
+// facility with the best marginal gain
+//
+//	gain(i) = access savings − f_i − connection increment(i)
+//
+// where the connection increment is i's cheapest contention path to an
+// already open facility (a proxy for the Steiner growth), and stop when no
+// facility has positive gain. The returned Solution mirrors Solve's.
+func SolveGreedy(inst Instance, opts Options) (*Solution, error) {
+	if err := validate(inst); err != nil {
+		return nil, err
+	}
+	n := inst.N
+
+	open := make([]bool, n)
+	open[inst.Producer] = true
+	for _, v := range inst.PreOpen {
+		open[v] = true
+	}
+
+	// best[j]: current cheapest service cost for demand j.
+	best := make([]float64, n)
+	assign := make([]int, n)
+	for j := 0; j < n; j++ {
+		best[j] = math.Inf(1)
+		assign[j] = -1
+		for i := 0; i < n; i++ {
+			if open[i] && inst.ConnCost[i][j] < best[j] {
+				best[j] = inst.ConnCost[i][j]
+				assign[j] = i
+			}
+		}
+	}
+
+	var facilities []int
+	for {
+		bestGain, bestNode := 0.0, -1
+		for i := 0; i < n; i++ {
+			if open[i] || i == inst.Producer || math.IsInf(inst.FacilityCost[i], 1) {
+				continue
+			}
+			savings := 0.0
+			for j := 0; j < n; j++ {
+				if d := best[j] - inst.ConnCost[i][j]; d > 0 {
+					savings += d
+				}
+			}
+			// Steiner growth proxy: the cheapest connection from i to
+			// the currently open set.
+			connect := math.Inf(1)
+			for k := 0; k < n; k++ {
+				if open[k] && inst.ConnCost[i][k] < connect {
+					connect = inst.ConnCost[i][k]
+				}
+			}
+			gain := savings - inst.FacilityCost[i] - connect
+			if gain > bestGain+1e-12 {
+				bestGain, bestNode = gain, i
+			}
+		}
+		if bestNode < 0 {
+			break
+		}
+		open[bestNode] = true
+		facilities = append(facilities, bestNode)
+		for j := 0; j < n; j++ {
+			if c := inst.ConnCost[bestNode][j]; c < best[j] {
+				best[j] = c
+				assign[j] = bestNode
+			}
+		}
+	}
+
+	sort.Ints(facilities)
+	return &Solution{
+		Facilities: facilities,
+		Assign:     assign,
+		Alpha:      best, // the greedy's service costs play the dual role
+	}, nil
+}

@@ -1,0 +1,214 @@
+package contention
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+)
+
+func TestNodeCostIsDegree(t *testing.T) {
+	g := graph.NewGrid(3, 3)
+	tests := []struct {
+		node int
+		want float64
+	}{
+		{node: 0, want: 2}, // corner
+		{node: 1, want: 3}, // edge
+		{node: 4, want: 4}, // center
+	}
+	for _, tt := range tests {
+		if got := NodeCost(g, tt.node); got != tt.want {
+			t.Errorf("NodeCost(%d) = %g, want %g", tt.node, got, tt.want)
+		}
+	}
+}
+
+func TestWeightsReflectStoredChunks(t *testing.T) {
+	g := graph.NewGrid(2, 2) // all degree 2
+	st := cache.NewState(4, 5)
+	mustStore(t, st, 1, 0)
+	mustStore(t, st, 1, 1)
+	w := Weights(g, st)
+	if w[0] != 2 { // 2·(1+0)
+		t.Errorf("w[0] = %g, want 2", w[0])
+	}
+	if w[1] != 6 { // 2·(1+2)
+		t.Errorf("w[1] = %g, want 6", w[1])
+	}
+}
+
+func TestComputeCostsPathOnLine(t *testing.T) {
+	// Line 0-1-2: degrees 1,2,1. Empty caches.
+	g := graph.New(3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	st := cache.NewState(3, 5)
+	c := ComputeCosts(g, st)
+	// c_02 = w0 + w1 + w2 = 1 + 2 + 1 = 4.
+	if c.C[0][2] != 4 {
+		t.Errorf("C[0][2] = %g, want 4", c.C[0][2])
+	}
+	if c.C[0][0] != 0 {
+		t.Errorf("C[0][0] = %g, want 0", c.C[0][0])
+	}
+	if got := c.Path(0, 2); len(got) != 3 || got[1] != 1 {
+		t.Errorf("Path(0,2) = %v, want [0 1 2]", got)
+	}
+}
+
+func TestComputeCostsSymmetricAndCachedInflation(t *testing.T) {
+	g := graph.NewGrid(3, 3)
+	st := cache.NewState(9, 5)
+	before := ComputeCosts(g, st)
+	mustStore(t, st, 4, 0) // center caches a chunk
+	after := ComputeCosts(g, st)
+	// Symmetry under both states.
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			if math.Abs(before.C[i][j]-before.C[j][i]) > 1e-9 {
+				t.Fatalf("asymmetric cost before: C[%d][%d]=%g C[%d][%d]=%g", i, j, before.C[i][j], j, i, before.C[j][i])
+			}
+		}
+	}
+	// A path through the center must now cost more: 0 -> 8 passes center
+	// or the boundary; the cheapest route should never get cheaper.
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			if after.C[i][j] < before.C[i][j]-1e-9 {
+				t.Fatalf("caching decreased cost: C[%d][%d] %g -> %g", i, j, before.C[i][j], after.C[i][j])
+			}
+		}
+	}
+	// The direct 1->4 cost includes the inflated center weight.
+	// c_14 = w1 + w4 = 3·1 + 4·2 = 11.
+	if after.C[1][4] != 11 {
+		t.Errorf("C[1][4] after caching = %g, want 11", after.C[1][4])
+	}
+}
+
+func TestEdgeCost(t *testing.T) {
+	g := graph.NewGrid(2, 2)
+	st := cache.NewState(4, 5)
+	mustStore(t, st, 0, 0)
+	// Edge {0,1}: 2·(1+1) + 2·(1+0) = 6.
+	if got := EdgeCost(g, st, 0, 1); got != 6 {
+		t.Errorf("EdgeCost(0,1) = %g, want 6", got)
+	}
+	f := EdgeCostFunc(g, st)
+	if f(0, 1) != EdgeCost(g, st, 0, 1) {
+		t.Error("EdgeCostFunc disagrees with EdgeCost")
+	}
+	if f(0, 1) != f(1, 0) {
+		t.Error("EdgeCost not symmetric")
+	}
+}
+
+func TestDCFDelayModel(t *testing.T) {
+	g := graph.NewGrid(3, 3)
+	st := cache.NewState(9, 5)
+	p := DefaultDCF()
+
+	// Empty cache at center node 4: m_k = 0.
+	want := p.DIFS + 4*p.TData
+	if got := p.HopDelay(g, st, 4); math.Abs(got-want) > 1e-9 {
+		t.Errorf("HopDelay(empty) = %g, want %g", got, want)
+	}
+
+	mustStore(t, st, 4, 0)
+	mustStore(t, st, 4, 1)
+	// m_k = 2: DIFS + 2·slot + 4·Td + 4·Tc.
+	want = p.DIFS + 2*p.Slot + 4*p.TData + 4*p.TCollision
+	if got := p.HopDelay(g, st, 4); math.Abs(got-want) > 1e-9 {
+		t.Errorf("HopDelay(2 chunks) = %g, want %g", got, want)
+	}
+
+	// Linearised delay is an affine function of the contention weight.
+	wantLin := p.DIFS + p.TData*4*3
+	if got := p.LinearHopDelay(g, st, 4); math.Abs(got-wantLin) > 1e-9 {
+		t.Errorf("LinearHopDelay = %g, want %g", got, wantLin)
+	}
+
+	path := []int{0, 1, 4}
+	sum := p.LinearHopDelay(g, st, 0) + p.LinearHopDelay(g, st, 1) + p.LinearHopDelay(g, st, 4)
+	if got := p.PathDelay(g, st, path); math.Abs(got-sum) > 1e-9 {
+		t.Errorf("PathDelay = %g, want %g", got, sum)
+	}
+}
+
+// Property: on random connected graphs with random cache states the cost
+// matrix is symmetric, zero-diagonal, non-negative, and every reported cost
+// equals the weight sum along its reconstructed path.
+func TestCostMatrixProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%12
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, n)
+		st := cache.NewState(n, 3)
+		for k := 0; k < n; k++ {
+			if rng.Intn(2) == 0 {
+				_ = st.Store(rng.Intn(n), rng.Intn(5))
+			}
+		}
+		w := Weights(g, st)
+		c := ComputeCosts(g, st)
+		for i := 0; i < n; i++ {
+			if c.C[i][i] != 0 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if c.C[i][j] < 0 {
+					return false
+				}
+				if math.Abs(c.C[i][j]-c.C[j][i]) > 1e-9 {
+					return false
+				}
+				if i == j {
+					continue
+				}
+				path := c.Path(i, j)
+				sum := 0.0
+				for _, v := range path {
+					sum += w[v]
+				}
+				if math.Abs(sum-c.C[i][j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustStore(t *testing.T, st *cache.State, node, chunk int) {
+	t.Helper()
+	if err := st.Store(node, chunk); err != nil {
+		t.Fatalf("Store(%d,%d): %v", node, chunk, err)
+	}
+}
+
+func mustEdge(t *testing.T, g *graph.Graph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+func randomConnectedGraph(rng *rand.Rand, n int) *graph.Graph {
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		_ = g.AddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for i := 0; i < rng.Intn(n+1); i++ {
+		_ = g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}

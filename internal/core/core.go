@@ -1,0 +1,270 @@
+// Package core implements the paper's primary contribution: the fair
+// caching approximation algorithm (Algorithm 1). Chunks are placed one at a
+// time; before each chunk the Fairness Degree Costs (Eq. 1) and the Path
+// Contention Costs (Eq. 2) are refreshed from the current cache state, a
+// ConFL primal-dual phase selects the caching (ADMIN) set, and a Steiner
+// tree connects it to the producer for dissemination. Because placements
+// raise both the fairness cost and the relay contention of loaded nodes,
+// subsequent chunks avoid them — this feedback is what makes the caching
+// load fair.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/confl"
+	"repro/internal/contention"
+	"repro/internal/graph"
+	"repro/internal/steiner"
+)
+
+// Strategy selects the per-chunk ConFL solver.
+type Strategy int
+
+const (
+	// PrimalDual is the paper's dual-growth algorithm with the 6.55
+	// approximation guarantee (the default).
+	PrimalDual Strategy = iota
+	// Greedy is the guarantee-free greedy heuristic (related work [23]),
+	// kept as an ablation point.
+	Greedy
+)
+
+// Options configures the approximation algorithm.
+type Options struct {
+	// ConFL tunes the per-chunk primal-dual phase.
+	ConFL confl.Options
+	// Strategy selects the per-chunk solver (default PrimalDual).
+	Strategy Strategy
+	// ImproveSteiner applies key-path local search to each dissemination
+	// tree after the MST 2-approximation (toward the stronger ratios the
+	// paper cites for phase 2).
+	ImproveSteiner bool
+	// FairnessWeight scales the Fairness Degree Cost term against the
+	// contention terms. The paper's formulation uses equal weights (1,
+	// the DefaultOptions value); 0 disables the fairness term entirely,
+	// which the ablation benchmarks use to isolate the contention terms.
+	FairnessWeight float64
+	// BatteryWeight scales the battery Fairness Degree Cost (the
+	// weighted-summation extension of the paper's footnote 1); 0 (the
+	// default) ignores battery levels.
+	BatteryWeight float64
+}
+
+// DefaultOptions returns the configuration used in the paper's evaluation.
+func DefaultOptions() Options {
+	return Options{
+		ConFL:          confl.DefaultOptions(),
+		FairnessWeight: 1,
+	}
+}
+
+// ChunkResult records the decisions and decision-time costs for one chunk.
+type ChunkResult struct {
+	// Chunk is the chunk id.
+	Chunk int
+	// CacheNodes is L(n): the nodes selected to cache the chunk (the
+	// ADMIN set), sorted; it never contains the producer.
+	CacheNodes []int
+	// Assign maps every node to the node it obtains the chunk from under
+	// the solver's dual-growth assignment.
+	Assign []int
+	// Tree is the dissemination Steiner tree over CacheNodes ∪ producer.
+	Tree steiner.Tree
+	// Fairness, Access and Dissemination are the decision-time cost terms
+	// of objective (8) for this chunk.
+	Fairness      float64
+	Access        float64
+	Dissemination float64
+	// Iterations is the dual-growth tick count (the paper's C).
+	Iterations int
+}
+
+// Total returns the chunk's decision-time objective value.
+func (c ChunkResult) Total() float64 {
+	return c.Fairness + c.Access + c.Dissemination
+}
+
+// Placement is the outcome of placing all chunks.
+type Placement struct {
+	// Producer is the data producer node.
+	Producer int
+	// Chunks holds one result per chunk, in placement order.
+	Chunks []ChunkResult
+	// State is the final cache state after all placements.
+	State *cache.State
+}
+
+// CacheNodes returns the per-chunk caching sets (the holders of each
+// chunk), for handing to the uniform evaluation in package metrics.
+func (p *Placement) CacheNodes() [][]int {
+	out := make([][]int, len(p.Chunks))
+	for i, c := range p.Chunks {
+		out[i] = append([]int(nil), c.CacheNodes...)
+	}
+	return out
+}
+
+// Objective returns the summed decision-time objective across chunks.
+func (p *Placement) Objective() float64 {
+	total := 0.0
+	for _, c := range p.Chunks {
+		total += c.Total()
+	}
+	return total
+}
+
+// Solver runs the fair caching approximation algorithm on one topology.
+type Solver struct {
+	g    *graph.Graph
+	opts Options
+}
+
+// Errors returned by the solver.
+var (
+	ErrBadTopology = errors.New("core: topology must be connected with at least 2 nodes")
+	ErrBadProducer = errors.New("core: producer out of range")
+	ErrBadChunks   = errors.New("core: chunk count must be positive")
+	ErrBadState    = errors.New("core: cache state size mismatch")
+)
+
+// New returns a Solver for the given connected topology.
+func New(g *graph.Graph, opts Options) (*Solver, error) {
+	if g == nil || g.NumNodes() < 2 || !g.Connected() {
+		return nil, ErrBadTopology
+	}
+	if opts.FairnessWeight < 0 {
+		return nil, fmt.Errorf("core: fairness weight %g must be >= 0", opts.FairnessWeight)
+	}
+	if opts.BatteryWeight < 0 {
+		return nil, fmt.Errorf("core: battery weight %g must be >= 0", opts.BatteryWeight)
+	}
+	return &Solver{g: g, opts: opts}, nil
+}
+
+// Place runs Algorithm 1: it places chunk ids 0..chunks-1 sequentially,
+// mutating st (which must cover the same node set as the topology).
+func (s *Solver) Place(producer, chunks int, st *cache.State) (*Placement, error) {
+	if producer < 0 || producer >= s.g.NumNodes() {
+		return nil, fmt.Errorf("%w: %d", ErrBadProducer, producer)
+	}
+	if chunks <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadChunks, chunks)
+	}
+	if st == nil || st.NumNodes() != s.g.NumNodes() {
+		return nil, ErrBadState
+	}
+
+	placement := &Placement{
+		Producer: producer,
+		State:    st,
+	}
+	for n := 0; n < chunks; n++ {
+		res, err := s.placeChunk(producer, n, st)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", n, err)
+		}
+		placement.Chunks = append(placement.Chunks, *res)
+	}
+	return placement, nil
+}
+
+// PlaceOne runs a single iteration of Algorithm 1 for an arbitrary chunk
+// id against the current state — the building block of the online variant
+// (package online), where chunks arrive over time rather than as a batch.
+func (s *Solver) PlaceOne(producer, chunkID int, st *cache.State) (*ChunkResult, error) {
+	if producer < 0 || producer >= s.g.NumNodes() {
+		return nil, fmt.Errorf("%w: %d", ErrBadProducer, producer)
+	}
+	if st == nil || st.NumNodes() != s.g.NumNodes() {
+		return nil, ErrBadState
+	}
+	return s.placeChunk(producer, chunkID, st)
+}
+
+// placeChunk runs one iteration of Algorithm 1 for chunk n.
+func (s *Solver) placeChunk(producer, n int, st *cache.State) (*ChunkResult, error) {
+	// Lines 5-16: refresh fairness and contention costs from the state.
+	fc := s.facilityCosts(producer, st)
+	costs := contention.ComputeCosts(s.g, st)
+
+	// Phase 1 (lines 17-46): per-chunk ConFL.
+	inst := confl.Instance{
+		N:            s.g.NumNodes(),
+		Producer:     producer,
+		FacilityCost: fc,
+		ConnCost:     costs.C,
+	}
+	var (
+		sol *confl.Solution
+		err error
+	)
+	if s.opts.Strategy == Greedy {
+		sol, err = confl.SolveGreedy(inst, s.opts.ConFL)
+	} else {
+		sol, err = confl.Solve(inst, s.opts.ConFL)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ChunkResult{
+		Chunk:      n,
+		CacheNodes: sol.Facilities,
+		Assign:     sol.Assign,
+		Iterations: sol.Iterations,
+	}
+
+	// Decision-time cost terms of objective (8), before committing.
+	for _, i := range sol.Facilities {
+		res.Fairness += fc[i]
+	}
+	for j := 0; j < s.g.NumNodes(); j++ {
+		if j != producer {
+			res.Access += costs.C[sol.Assign[j]][j]
+		}
+	}
+
+	// Phase 2 (line 47): Steiner tree connecting ADMIN set and producer.
+	if len(sol.Facilities) > 0 {
+		terminals := append(append([]int(nil), sol.Facilities...), producer)
+		edgeCost := contention.EdgeCostFunc(s.g, st)
+		tree, err := steiner.MSTApprox(s.g, edgeCost, terminals)
+		if err != nil {
+			return nil, err
+		}
+		if s.opts.ImproveSteiner {
+			tree = steiner.Improve(s.g, edgeCost, tree, terminals)
+		}
+		res.Tree = tree
+		res.Dissemination = tree.Cost
+	}
+
+	// Commit: L(n) ← A (line 48).
+	for _, i := range sol.Facilities {
+		if err := st.Store(i, n); err != nil {
+			return nil, fmt.Errorf("store on node %d: %w", i, err)
+		}
+	}
+	return res, nil
+}
+
+// facilityCosts returns the weighted fairness costs — storage plus the
+// optional battery term (footnote 1) — with the producer excluded from
+// caching (the paper's producer stores nothing and is not included in
+// cost calculation). Full nodes stay excluded (+Inf) even at weight 0.
+func (s *Solver) facilityCosts(producer int, st *cache.State) []float64 {
+	fc := make([]float64, st.NumNodes())
+	for i := range fc {
+		if st.Free(i) <= 0 {
+			fc[i] = math.Inf(1)
+			continue
+		}
+		fc[i] = st.CombinedFairnessCost(i, s.opts.FairnessWeight, s.opts.BatteryWeight)
+	}
+	fc[producer] = math.Inf(1)
+	return fc
+}

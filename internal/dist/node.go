@@ -1,0 +1,387 @@
+package dist
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// nodeState follows the paper's terminology: a node is ACTIVE while
+// bidding, FROZEN (inactive) once it knows where to obtain the chunk, and
+// ADMIN if it volunteered to cache it.
+type nodeState int
+
+const (
+	stateActive nodeState = iota + 1
+	stateFrozen
+	stateAdmin
+)
+
+// peerInfo is the contention knowledge gathered about a k-hop neighbor.
+type peerInfo struct {
+	weight     float64
+	hasStorage bool
+	neighbors  []int
+}
+
+// node implements the per-device protocol of Algorithm 2 for one chunk.
+type node struct {
+	id       int
+	producer int
+	opts     Options
+
+	weight     float64 // own w_i·(1+S(i))
+	fairness   float64 // own Fairness Degree Cost f_i (weighted)
+	hasStorage bool
+
+	state    nodeState
+	assigned int
+
+	// Producer reachability learned from the NPI flood.
+	prodCost float64
+	ccSent   bool
+	// ccRound is the round the CC collection was issued; bidding starts
+	// only after the collection round-trip has completed, so that nodes
+	// race on equal information rather than on message latency.
+	ccRound int
+
+	// ADMIN reachability learned from BADMIN floods.
+	adminCost map[int]float64
+
+	// k-hop contention knowledge from CC responses.
+	peers    map[int]peerInfo
+	conTo    map[int]float64
+	conDirty bool
+
+	// Bidding state.
+	alpha     float64
+	gamma     map[int]float64
+	sentTight map[int]bool
+	sentSpan  map[int]bool
+
+	// Requester bookkeeping (the paper's set T and SPAN quorum count).
+	requesters []int
+	inT        map[int]bool
+	spanPaid   map[int]float64
+}
+
+var _ sim.Node = (*node)(nil)
+
+func newNode(id, producer int, weight, fairness float64, hasStorage bool, opts Options) *node {
+	n := &node{
+		id:         id,
+		producer:   producer,
+		opts:       opts,
+		weight:     weight,
+		fairness:   fairness,
+		hasStorage: hasStorage,
+		state:      stateActive,
+		assigned:   -1,
+		prodCost:   math.Inf(1),
+		adminCost:  make(map[int]float64),
+		peers:      make(map[int]peerInfo),
+		conTo:      make(map[int]float64),
+		gamma:      make(map[int]float64),
+		sentTight:  make(map[int]bool),
+		sentSpan:   make(map[int]bool),
+		inT:        make(map[int]bool),
+		spanPaid:   make(map[int]float64),
+		ccRound:    -1,
+	}
+	if id == producer {
+		n.state = stateFrozen
+		n.assigned = id
+	}
+	return n
+}
+
+// Init: the producer floods the NPI announcement (its accumulated cost is
+// its own weight) — every other node reacts to receiving it.
+func (n *node) Init(ctx *sim.Context) {
+	if n.id == n.producer {
+		ctx.SendNeighbors(npi{Producer: n.id, Accum: n.weight})
+	}
+}
+
+func (n *node) OnReceive(ctx *sim.Context, from int, p sim.Payload) {
+	switch m := p.(type) {
+	case npi:
+		n.onNPI(ctx, m)
+	case cc:
+		ctx.Send(from, ccResp{
+			Weight:     n.weight,
+			HasStorage: n.hasStorage,
+			Neighbors:  append([]int(nil), ctx.Neighbors()...),
+		})
+	case ccResp:
+		n.peers[from] = peerInfo{weight: m.Weight, hasStorage: m.HasStorage, neighbors: m.Neighbors}
+		n.conDirty = true
+	case tight:
+		n.onRequest(ctx, from, 0, false)
+	case span:
+		n.onRequest(ctx, from, m.Paid, true)
+	case freeze:
+		n.onFreeze(m)
+	case nadmin:
+		n.onNAdmin(ctx, from)
+	case badmin:
+		n.onBAdmin(ctx, m)
+	}
+}
+
+// onNPI handles the flooded chunk announcement: track the cheapest path to
+// the producer, re-flood improvements, and kick off contention collection.
+func (n *node) onNPI(ctx *sim.Context, m npi) {
+	if n.id == n.producer {
+		return
+	}
+	cost := m.Accum + n.weight
+	if cost < n.prodCost {
+		n.prodCost = cost
+		ctx.SendNeighbors(npi{Producer: m.Producer, Accum: m.Accum + n.weight})
+	}
+	if !n.ccSent && n.state == stateActive {
+		n.ccSent = true
+		n.ccRound = ctx.Round()
+		ctx.SendKHop(n.opts.K, cc{})
+	}
+}
+
+// onRequest handles TIGHT and SPAN: remember the requester; frozen and
+// ADMIN nodes answer immediately; active candidates accumulate SPAN
+// support and volunteer once the quorum and the fairness payment are met.
+func (n *node) onRequest(ctx *sim.Context, from int, paid float64, isSpan bool) {
+	if !n.inT[from] {
+		n.inT[from] = true
+		n.requesters = append(n.requesters, from)
+	}
+	switch n.state {
+	case stateFrozen:
+		target := n.assigned
+		if n.id == n.producer {
+			target = n.id
+		}
+		ctx.Send(from, freeze{Admin: target})
+		return
+	case stateAdmin:
+		ctx.Send(from, freeze{Admin: n.id})
+		return
+	}
+	if !isSpan {
+		return
+	}
+	if paid > n.spanPaid[from] {
+		n.spanPaid[from] = paid
+	}
+	n.maybeBecomeAdmin(ctx)
+}
+
+// maybeBecomeAdmin applies the ADMIN condition: enough SPAN supporters
+// (the quorum M) and enough surplus payment to cover the node's own
+// fairness cost.
+func (n *node) maybeBecomeAdmin(ctx *sim.Context) {
+	if n.state != stateActive || !n.hasStorage {
+		return
+	}
+	if len(n.spanPaid) < n.opts.SpanQuorum {
+		return
+	}
+	total := 0.0
+	for _, paid := range n.spanPaid {
+		total += paid
+	}
+	if total < n.fairness {
+		return
+	}
+	n.state = stateAdmin
+	n.assigned = n.id
+	for _, j := range n.requesters {
+		ctx.Send(j, nadmin{})
+	}
+	ctx.SendNeighbors(badmin{Admin: n.id, Accum: n.weight})
+	// The data chunk itself is then proactively requested from the
+	// producer; the dissemination cost is evaluated by the Steiner-tree
+	// metric, not by protocol messages.
+}
+
+// onFreeze handles a redirect toward data holder m.Admin. Mirroring the
+// centralized dual growth — where a demand freezes only once its bid
+// covers an *open* facility — the redirect is accepted only when the
+// node's bid covers the known cost to that holder; otherwise the node
+// keeps bidding and will freeze through its own tick logic later.
+func (n *node) onFreeze(m freeze) {
+	if n.state != stateActive {
+		return
+	}
+	cost := math.Inf(1)
+	switch {
+	case m.Admin == n.producer:
+		cost = n.prodCost
+	default:
+		if c, ok := n.adminCost[m.Admin]; ok {
+			cost = c
+		}
+	}
+	if n.alpha >= cost {
+		n.state = stateFrozen
+		n.assigned = m.Admin
+	}
+}
+
+// onNAdmin: the candidate we supported became an ADMIN; adopt it and tell
+// our own requesters where data will be.
+func (n *node) onNAdmin(ctx *sim.Context, from int) {
+	if n.state != stateActive {
+		return
+	}
+	n.state = stateFrozen
+	n.assigned = from
+	for _, j := range n.requesters {
+		ctx.Send(j, freeze{Admin: from})
+	}
+}
+
+// onBAdmin handles the network-wide ADMIN announcement flood.
+func (n *node) onBAdmin(ctx *sim.Context, m badmin) {
+	if m.Admin == n.id {
+		return
+	}
+	cost := m.Accum + n.weight
+	if old, ok := n.adminCost[m.Admin]; !ok || cost < old {
+		n.adminCost[m.Admin] = cost
+		ctx.SendNeighbors(badmin{Admin: m.Admin, Accum: m.Accum + n.weight})
+	}
+	if n.state == stateActive && n.alpha >= n.adminCost[m.Admin] {
+		n.state = stateFrozen
+		n.assigned = m.Admin
+	}
+}
+
+// OnTick grows the bids and issues TIGHT/SPAN/freeze transitions.
+func (n *node) OnTick(ctx *sim.Context) {
+	if n.state != stateActive {
+		return
+	}
+	// Wait for the contention-collection round trip before bidding.
+	if n.ccRound < 0 || ctx.Round() < n.ccRound+2 {
+		return
+	}
+	n.alpha += n.opts.AlphaStep
+
+	// Connect to the producer or a known ADMIN when the bid covers it —
+	// the TIGHT-with-an-open-facility case of the centralized algorithm.
+	bestOpen, bestCost := -1, math.Inf(1)
+	if n.alpha >= n.prodCost {
+		bestOpen, bestCost = n.producer, n.prodCost
+	}
+	for a, c := range n.adminCost {
+		if n.alpha >= c && c < bestCost {
+			bestOpen, bestCost = a, c
+		}
+	}
+	if bestOpen >= 0 {
+		n.state = stateFrozen
+		n.assigned = bestOpen
+		return
+	}
+
+	n.refreshCon()
+	for _, j := range n.candidateOrder() {
+		c := n.conTo[j]
+		if n.alpha >= c && !n.sentTight[j] {
+			n.sentTight[j] = true
+			ctx.Send(j, tight{})
+		}
+		if n.sentTight[j] {
+			n.gamma[j] += n.opts.GammaStep
+			if n.gamma[j] >= c && !n.sentSpan[j] {
+				n.sentSpan[j] = true
+				ctx.Send(j, span{Paid: n.alpha - c})
+			}
+		}
+	}
+}
+
+// refreshCon recomputes contention costs to k-hop candidates from the
+// collected neighborhood information (a local node-weighted shortest-path
+// computation over the known subgraph).
+func (n *node) refreshCon() {
+	if !n.conDirty {
+		return
+	}
+	n.conDirty = false
+	n.conTo = localPathCosts(n.id, n.weight, n.peers)
+	// Only candidates with storage can serve as caching nodes.
+	for j := range n.conTo {
+		info, ok := n.peers[j]
+		if !ok || !info.hasStorage || j == n.producer {
+			delete(n.conTo, j)
+		}
+	}
+}
+
+// candidateOrder returns known candidates in deterministic id order.
+func (n *node) candidateOrder() []int {
+	out := make([]int, 0, len(n.conTo))
+	for j := range n.conTo {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (n *node) Done() bool { return n.state != stateActive }
+
+// localPathCosts runs a node-weighted Dijkstra over the locally known
+// subgraph (self + peers, edges limited to known nodes), returning the
+// contention cost from self to each known peer including both endpoints.
+func localPathCosts(self int, selfWeight float64, peers map[int]peerInfo) map[int]float64 {
+	weight := map[int]float64{self: selfWeight}
+	adj := map[int][]int{}
+	known := map[int]bool{self: true}
+	for id, info := range peers {
+		weight[id] = info.weight
+		known[id] = true
+	}
+	addEdge := func(u, v int) {
+		if known[u] && known[v] {
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+	}
+	for id, info := range peers {
+		for _, nb := range info.neighbors {
+			addEdge(id, nb)
+		}
+	}
+
+	dist := map[int]float64{self: selfWeight}
+	done := map[int]bool{}
+	for {
+		u, best := -1, math.Inf(1)
+		for id, d := range dist {
+			if !done[id] && d < best {
+				u, best = id, d
+			}
+		}
+		if u == -1 {
+			break
+		}
+		done[u] = true
+		for _, v := range adj[u] {
+			if nd := best + weight[v]; nd < distOrInf(dist, v) {
+				dist[v] = nd
+			}
+		}
+	}
+	delete(dist, self)
+	return dist
+}
+
+func distOrInf(dist map[int]float64, v int) float64 {
+	if d, ok := dist[v]; ok {
+		return d
+	}
+	return math.Inf(1)
+}

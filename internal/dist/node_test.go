@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLocalPathCostsDirectAndTwoHop(t *testing.T) {
+	// Self 0 with peers 1 (weight 2, neighbor of 0 and 2) and 2 (weight
+	// 3, neighbor of 1). Self weight 1.
+	peers := map[int]peerInfo{
+		1: {weight: 2, neighbors: []int{0, 2}},
+		2: {weight: 3, neighbors: []int{1}},
+	}
+	costs := localPathCosts(0, 1, peers)
+	if got := costs[1]; got != 3 { // 1 + 2
+		t.Errorf("cost to 1 = %g, want 3", got)
+	}
+	if got := costs[2]; got != 6 { // 1 + 2 + 3
+		t.Errorf("cost to 2 = %g, want 6", got)
+	}
+	if _, ok := costs[0]; ok {
+		t.Error("self appears in its own cost map")
+	}
+}
+
+func TestLocalPathCostsUnknownNodesIgnored(t *testing.T) {
+	// Peer 1 reports neighbor 99, which self knows nothing about: no
+	// edge (and no entry) may be created for it.
+	peers := map[int]peerInfo{
+		1: {weight: 2, neighbors: []int{0, 99}},
+	}
+	costs := localPathCosts(0, 1, peers)
+	if _, ok := costs[99]; ok {
+		t.Error("unknown node 99 got a cost entry")
+	}
+	if costs[1] != 3 {
+		t.Errorf("cost to 1 = %g, want 3", costs[1])
+	}
+}
+
+func TestLocalPathCostsPrefersCheapRelay(t *testing.T) {
+	// Two routes from 0 to 3: via heavy node 1 (weight 10) or light
+	// node 2 (weight 1).
+	peers := map[int]peerInfo{
+		1: {weight: 10, neighbors: []int{0, 3}},
+		2: {weight: 1, neighbors: []int{0, 3}},
+		3: {weight: 2, neighbors: []int{1, 2}},
+	}
+	costs := localPathCosts(0, 1, peers)
+	if costs[3] != 4 { // 1 + 1 + 2 via node 2
+		t.Errorf("cost to 3 = %g, want 4 via the light relay", costs[3])
+	}
+}
+
+func TestOnFreezeGatedByBid(t *testing.T) {
+	n := newNode(3, 0, 1, 0, true, DefaultOptions())
+	n.prodCost = 10
+
+	// Redirect toward the producer with an insufficient bid: ignored.
+	n.alpha = 5
+	n.onFreeze(freeze{Admin: 0})
+	if n.state != stateActive {
+		t.Fatal("node froze although its bid does not cover the producer cost")
+	}
+
+	// Redirect toward an unknown admin: ignored regardless of bid.
+	n.alpha = 100
+	n.onFreeze(freeze{Admin: 7})
+	if n.state != stateActive {
+		t.Fatal("node froze onto an admin with unknown cost")
+	}
+
+	// Known admin whose cost the bid covers: accepted.
+	n.adminCost[7] = 50
+	n.onFreeze(freeze{Admin: 7})
+	if n.state != stateFrozen || n.assigned != 7 {
+		t.Fatalf("state = %v assigned = %d, want frozen onto 7", n.state, n.assigned)
+	}
+
+	// Further redirects are no-ops once frozen.
+	n.onFreeze(freeze{Admin: 0})
+	if n.assigned != 7 {
+		t.Error("frozen node re-assigned")
+	}
+}
+
+func TestMaybeBecomeAdminConditions(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SpanQuorum = 2
+	n := newNode(1, 0, 1, 30 /* fairness */, true, opts)
+
+	// One supporter with enough payment: quorum unmet.
+	n.spanPaid[5] = 10
+	n.maybeBecomeAdmin(nil)
+	if n.state == stateAdmin {
+		t.Fatal("became admin below the SPAN quorum")
+	}
+	// Two supporters but insufficient total payment vs fairness cost 30.
+	n.spanPaid[6] = 10
+	n.maybeBecomeAdmin(nil)
+	if n.state == stateAdmin {
+		t.Fatal("became admin with unpaid fairness cost")
+	}
+	// Without storage: never, even with quorum and payment satisfied.
+	n.spanPaid[6] = 40
+	n.hasStorage = false
+	n.maybeBecomeAdmin(nil)
+	if n.state == stateAdmin {
+		t.Fatal("became admin without storage")
+	}
+}
+
+func TestCandidateOrderDeterministic(t *testing.T) {
+	n := newNode(0, 9, 1, 0, true, DefaultOptions())
+	n.conTo = map[int]float64{7: 1, 2: 3, 5: 2}
+	got := n.candidateOrder()
+	want := []int{2, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("candidateOrder = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("candidateOrder[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRefreshConFiltersNonCandidates(t *testing.T) {
+	n := newNode(0, 9, 1, 0, true, DefaultOptions())
+	n.peers = map[int]peerInfo{
+		1: {weight: 2, hasStorage: true, neighbors: []int{0}},
+		2: {weight: 2, hasStorage: false, neighbors: []int{0}}, // full
+		9: {weight: 2, hasStorage: true, neighbors: []int{0}},  // producer
+	}
+	n.conDirty = true
+	n.refreshCon()
+	if _, ok := n.conTo[1]; !ok {
+		t.Error("storage-bearing peer missing from candidates")
+	}
+	if _, ok := n.conTo[2]; ok {
+		t.Error("full peer kept as candidate")
+	}
+	if _, ok := n.conTo[9]; ok {
+		t.Error("producer kept as candidate")
+	}
+}
+
+func TestDistOrInf(t *testing.T) {
+	d := map[int]float64{1: 2}
+	if distOrInf(d, 1) != 2 {
+		t.Error("existing entry wrong")
+	}
+	if !math.IsInf(distOrInf(d, 5), 1) {
+		t.Error("missing entry should be +Inf")
+	}
+}

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	faircache "repro"
+)
+
+// AblationRow is one configuration's outcome in an ablation sweep.
+type AblationRow struct {
+	// Name identifies the configuration.
+	Name string
+	// Gini is the placement's fairness.
+	Gini float64
+	// DistinctCaches counts nodes holding at least one chunk.
+	DistinctCaches int
+	// Total is the evaluated contention cost.
+	Total float64
+	// Dissemination is the dissemination share of Total.
+	Dissemination float64
+}
+
+// RunAblations sweeps the design knobs called out in DESIGN.md §5 on the
+// paper's 6×6 grid with a 10-chunk load (twice the capacity-5 default, so
+// the fairness terms actually bite): SPAN quorum M, dual step U_α,
+// fairness weight, greedy vs primal-dual ConFL, and Steiner local search.
+func RunAblations(sc Scenario) ([]AblationRow, error) {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		return nil, err
+	}
+	producer := sc.producerOn(topo)
+	const chunks = 10
+
+	type cfg struct {
+		name string
+		opts faircache.Options
+	}
+	configs := []cfg{
+		{name: "default (M=2, Uγ=2.5, w=1)", opts: faircache.Options{}},
+		{name: "quorum M=1", opts: faircache.Options{SpanQuorum: 1}},
+		{name: "quorum M=3", opts: faircache.Options{SpanQuorum: 3}},
+		{name: "quorum M=4", opts: faircache.Options{SpanQuorum: 4}},
+		{name: "coarse step Uα=4", opts: faircache.Options{AlphaStep: 4, GammaStep: 10}},
+		{name: "fine step Uα=0.25", opts: faircache.Options{AlphaStep: 0.25, GammaStep: 0.625}},
+		{name: "fairness off (w=0)", opts: faircache.Options{FairnessWeight: -1}},
+		{name: "fairness heavy (w=4)", opts: faircache.Options{FairnessWeight: 4}},
+		{name: "greedy ConFL", opts: faircache.Options{GreedyConFL: true}},
+		{name: "steiner local search", opts: faircache.Options{ImproveSteiner: true}},
+	}
+
+	var rows []AblationRow
+	for _, c := range configs {
+		opts := c.opts
+		opts.Capacity = sc.Capacity
+		res, err := faircache.Approximate(topo, producer, chunks, &opts)
+		if err != nil {
+			return nil, err
+		}
+		report, err := res.ContentionCost()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Name:           c.name,
+			Gini:           res.Gini(),
+			DistinctCaches: res.DistinctCacheNodes(),
+			Total:          report.Total(),
+			Dissemination:  report.Dissemination,
+		})
+	}
+
+	// Battery extension: drain half the grid and show placement shifts.
+	levels := make([]float64, topo.NumNodes())
+	for i := range levels {
+		levels[i] = 1
+		if i%6 < 3 {
+			levels[i] = 0.05 // nearly dead left half
+		}
+	}
+	res, err := faircache.Approximate(topo, producer, chunks, &faircache.Options{
+		Capacity:      sc.Capacity,
+		BatteryLevels: levels,
+		BatteryWeight: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report, err := res.ContentionCost()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{
+		Name:           "battery fairness (left half drained)",
+		Gini:           res.Gini(),
+		DistinctCaches: res.DistinctCacheNodes(),
+		Total:          report.Total(),
+		Dissemination:  report.Dissemination,
+	})
+	return rows, nil
+}

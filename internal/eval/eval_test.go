@@ -1,0 +1,311 @@
+package eval
+
+import (
+	"testing"
+
+	faircache "repro"
+)
+
+// fastScenario keeps test instances small: 3 chunks, tight search budget,
+// 2 seeds.
+func fastScenario() Scenario {
+	sc := DefaultScenario()
+	sc.Chunks = 3
+	sc.OptimalBudget = 500
+	sc.Seeds = []int64{1, 2}
+	return sc
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	topo, err := faircache.Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run("nope", topo, 0, 1, nil); err == nil {
+		t.Error("unknown algorithm: want error")
+	}
+}
+
+func TestRunFig1Small(t *testing.T) {
+	sc := fastScenario()
+	fig, err := RunFig1(4, 4, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Producer != 9 {
+		t.Errorf("producer = %d, want 9", fig.Producer)
+	}
+	if len(fig.Reference) != 16 {
+		t.Fatalf("reference length = %d", len(fig.Reference))
+	}
+	for _, alg := range Algorithms {
+		diff, ok := fig.Diff[alg]
+		if !ok || len(diff) != 16 {
+			t.Errorf("%s: diff missing or wrong length", alg)
+		}
+	}
+	// The diff of the optimal against itself is not included; the
+	// approximation should differ somewhere but sum to a small offset.
+	if fig.Diff[faircache.AlgorithmHopCount][fig.Producer] != -fig.Reference[fig.Producer] {
+		t.Errorf("producer diff inconsistent: %d vs reference %d",
+			fig.Diff[faircache.AlgorithmHopCount][fig.Producer], fig.Reference[fig.Producer])
+	}
+}
+
+func TestRunFig2SmallShape(t *testing.T) {
+	sc := fastScenario()
+	rows, err := RunFig2Small([]int{3}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Nodes != 9 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	row := rows[0]
+	if row.Optimal <= 0 {
+		t.Error("optimal cost not computed")
+	}
+	for _, alg := range Algorithms {
+		if row.Total[alg] <= 0 {
+			t.Errorf("%s cost = %g", alg, row.Total[alg])
+		}
+	}
+	// Approximation guarantee on the evaluation metric: within 6.55x of
+	// the (budgeted) optimum reference.
+	if row.Total[faircache.AlgorithmApprox] > 6.55*row.Optimal {
+		t.Errorf("Appx %g exceeds 6.55x optimal %g", row.Total[faircache.AlgorithmApprox], row.Optimal)
+	}
+}
+
+func TestRunFig2LargeOrdering(t *testing.T) {
+	sc := fastScenario()
+	rows, err := RunFig2Large([]int{8}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	appx := row.Total[faircache.AlgorithmApprox]
+	hopc := row.Total[faircache.AlgorithmHopCount]
+	if hopc <= appx {
+		t.Errorf("Hopc %g not worse than Appx %g on a large grid", hopc, appx)
+	}
+}
+
+func TestRunFig3HopSweep(t *testing.T) {
+	sc := fastScenario()
+	rows, err := RunFig3(6, 6, 3, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].HopLimit != 1 || rows[2].HopLimit != 3 {
+		t.Errorf("hop limits = %d..%d", rows[0].HopLimit, rows[2].HopLimit)
+	}
+	// Fig. 3's claim: 1 hop is no better than 2 hops.
+	if rows[0].Total() < rows[1].Total()-1e-9 {
+		t.Errorf("1-hop %g beats 2-hop %g", rows[0].Total(), rows[1].Total())
+	}
+}
+
+func TestRunFig4Averaging(t *testing.T) {
+	sc := fastScenario()
+	rows, err := RunFig4([]int{20}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Algorithms {
+		if rows[0].Total[alg] <= 0 {
+			t.Errorf("%s average cost = %g", alg, rows[0].Total[alg])
+		}
+	}
+	if _, err := RunFig4([]int{20}, Scenario{Chunks: 1, Capacity: 5}); err == nil {
+		t.Error("no seeds: want error")
+	}
+}
+
+func TestRunFig5Timing(t *testing.T) {
+	sc := fastScenario()
+	rows, err := RunFig5([]int{4}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	if _, hasDist := row.Elapsed[faircache.AlgorithmDistributed]; hasDist {
+		t.Error("Fig 5 must exclude the distributed algorithm (paper does)")
+	}
+	for _, alg := range []faircache.Algorithm{faircache.AlgorithmApprox, faircache.AlgorithmHopCount, faircache.AlgorithmContention} {
+		if row.Elapsed[alg] <= 0 {
+			t.Errorf("%s elapsed = %v", alg, row.Elapsed[alg])
+		}
+	}
+}
+
+func TestRunFig6FairnessOrdering(t *testing.T) {
+	sc := DefaultScenario() // full 5-chunk scenario for the headline claim
+	fig, err := RunFig6(6, 6, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appx := fig.Percentile75[faircache.AlgorithmApprox]
+	cont := fig.Percentile75[faircache.AlgorithmContention]
+	hopc := fig.Percentile75[faircache.AlgorithmHopCount]
+	if !(appx > cont && cont > hopc) {
+		t.Errorf("75-percentile fairness ordering violated: appx %g, cont %g, hopc %g", appx, cont, hopc)
+	}
+	for _, alg := range Algorithms {
+		curve := fig.Curve[alg]
+		if len(curve) != 36 {
+			t.Fatalf("%s: curve length %d", alg, len(curve))
+		}
+		if curve[35] != 1 {
+			t.Errorf("%s: curve does not reach 1", alg)
+		}
+	}
+}
+
+func TestRunFig7GiniShapes(t *testing.T) {
+	sc := fastScenario()
+	grid, err := RunFig7Grid([]int{6}, DefaultScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grid[0].Gini
+	if g[faircache.AlgorithmApprox] >= 0.4 {
+		t.Errorf("Appx gini = %g, want < 0.4 (paper headline)", g[faircache.AlgorithmApprox])
+	}
+	if g[faircache.AlgorithmHopCount] <= g[faircache.AlgorithmApprox] {
+		t.Error("Hopc not less fair than Appx")
+	}
+	random, err := RunFig7Random([]int{20}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if random[0].Gini[faircache.AlgorithmApprox] <= 0 {
+		t.Error("random-network gini not computed")
+	}
+}
+
+func TestRunFig8BaselineJumpAtCapacity(t *testing.T) {
+	sc := DefaultScenario()
+	rows, err := RunFig8(4, 4, 6, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Fig. 8's discontinuity: the Contention baseline's increment jumps
+	// when chunk 6 forces a second node set (capacity 5), while the fair
+	// algorithm keeps growing smoothly.
+	inc := func(alg faircache.Algorithm, q int) float64 {
+		return rows[q-1].Total[alg] - rows[q-2].Total[alg]
+	}
+	if inc(faircache.AlgorithmContention, 6) <= inc(faircache.AlgorithmContention, 5) {
+		t.Errorf("Cont: no capacity jump (inc5 %g, inc6 %g)",
+			inc(faircache.AlgorithmContention, 5), inc(faircache.AlgorithmContention, 6))
+	}
+	if inc(faircache.AlgorithmApprox, 6) > 1.5*inc(faircache.AlgorithmApprox, 5) {
+		t.Errorf("Appx: unexpected jump at chunk 6 (inc5 %g, inc6 %g)",
+			inc(faircache.AlgorithmApprox, 5), inc(faircache.AlgorithmApprox, 6))
+	}
+}
+
+func TestRunFig9PerChunkEvenness(t *testing.T) {
+	sc := DefaultScenario()
+	fig, err := RunFig9(4, 4, 10, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(xs []float64) float64 {
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return hi - lo
+	}
+	appx := fig.PerChunk[faircache.AlgorithmApprox]
+	dist := fig.PerChunk[faircache.AlgorithmDistributed]
+	hopc := fig.PerChunk[faircache.AlgorithmHopCount]
+	cont := fig.PerChunk[faircache.AlgorithmContention]
+	if len(appx) != 10 || len(hopc) != 10 {
+		t.Fatalf("per-chunk lengths: %d, %d", len(appx), len(hopc))
+	}
+	// Evenness on the 4×4: the distributed algorithm's spread must beat
+	// the Contention baseline's (whose chunk-group switch steps the
+	// cost).
+	if spread(dist) >= spread(cont) {
+		t.Errorf("Dist per-chunk spread %g not tighter than Cont %g", spread(dist), spread(cont))
+	}
+	_ = appx
+
+	// Paper: "the Contention Cost is ... lower than other two algorithms
+	// for most chunks" — on the 6×6 grid of Fig. 9(b).
+	fig6x6, err := RunFig9(6, 6, 10, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appx6 := fig6x6.PerChunk[faircache.AlgorithmApprox]
+	hopc6 := fig6x6.PerChunk[faircache.AlgorithmHopCount]
+	cont6 := fig6x6.PerChunk[faircache.AlgorithmContention]
+	lowerCount := 0
+	for n := range appx6 {
+		if appx6[n] < hopc6[n] && appx6[n] < cont6[n] {
+			lowerCount++
+		}
+	}
+	if lowerCount < 7 {
+		t.Errorf("Appx cheaper than both baselines on only %d/10 chunks (6x6)", lowerCount)
+	}
+	_ = hopc
+}
+
+func TestRunTable2MessageAccounting(t *testing.T) {
+	sc := fastScenario()
+	tab, err := RunTable2(6, 6, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.WithinBound {
+		t.Errorf("message total %d exceeds bound %d", tab.Total, tab.Bound)
+	}
+	for _, kind := range []string{"NPI", "CC", "TIGHT"} {
+		if tab.Counts[kind] == 0 {
+			t.Errorf("no %s messages", kind)
+		}
+	}
+	if tab.Total <= 0 {
+		t.Error("no messages recorded")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	rows, err := RunAblations(DefaultScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("ablation rows = %d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Total <= 0 {
+			t.Errorf("%s: non-positive cost", r.Name)
+		}
+	}
+	// Quorum knob monotonicity: larger M, fewer caches.
+	if byName["quorum M=1"].DistinctCaches < byName["quorum M=4"].DistinctCaches {
+		t.Error("quorum sweep not monotone in cache count")
+	}
+	// Steiner local search never raises dissemination vs default.
+	if byName["steiner local search"].Dissemination > byName["default (M=2, Uγ=2.5, w=1)"].Dissemination+1e-9 {
+		t.Error("local search raised dissemination")
+	}
+}

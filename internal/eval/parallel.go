@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachSeed runs fn once per seed concurrently (bounded by GOMAXPROCS)
+// and returns the first error. Each fn call works on its own topology and
+// state, so runs are independent and the aggregation stays deterministic:
+// results are merged by seed index, not completion order.
+func forEachSeed(seeds []int64, fn func(idx int, seed int64) error) error {
+	limit := runtime.GOMAXPROCS(0)
+	if limit > len(seeds) {
+		limit = len(seeds)
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, limit)
+		mu   sync.Mutex
+		err1 error
+	)
+	for i, seed := range seeds {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(idx int, s int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(idx, s); err != nil {
+				mu.Lock()
+				if err1 == nil {
+					err1 = err
+				}
+				mu.Unlock()
+			}
+		}(i, seed)
+	}
+	wg.Wait()
+	return err1
+}

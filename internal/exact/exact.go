@@ -1,0 +1,399 @@
+// Package exact computes optimal per-chunk ConFL solutions — the role the
+// paper's "Brtf" brute-force (PuLP) baseline plays. Go has no native LP
+// ecosystem, so instead of wrapping a C solver this package performs a
+// branch-and-bound search over caching sets with admissible lower bounds
+// and the exact Dreyfus–Wagner Steiner cost, which returns the true optimum
+// of objective (8) on small instances (and a best-found solution with an
+// explicit optimality flag when a search budget is exceeded).
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/contention"
+	"repro/internal/graph"
+	"repro/internal/steiner"
+)
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxSubsetSize caps the caching-set size. 0 means the largest the
+	// exact Steiner routine supports (steiner.MaxExactTerminals − 1,
+	// leaving room for the producer terminal).
+	MaxSubsetSize int
+	// NodeBudget caps the number of branch-and-bound nodes explored; 0
+	// means unlimited. When exceeded the search returns the best solution
+	// found with Optimal = false.
+	NodeBudget int
+	// FairnessWeight scales the fairness term, mirroring core.Options.
+	// Zero disables the term (the default used by DefaultOptions is 1).
+	FairnessWeight float64
+}
+
+// DefaultOptions returns the configuration matching the paper's objective.
+func DefaultOptions() Options {
+	return Options{
+		FairnessWeight: 1,
+	}
+}
+
+// Solution is the optimal (or budget-limited best) single-chunk placement.
+type Solution struct {
+	// Facilities is the optimal caching set, sorted.
+	Facilities []int
+	// Fairness, Access and Dissemination are the objective terms.
+	Fairness      float64
+	Access        float64
+	Dissemination float64
+	// Optimal reports whether the search completed exhaustively; false
+	// means the node budget was hit and the result is a best-found bound.
+	Optimal bool
+	// Explored counts branch-and-bound nodes visited.
+	Explored int
+}
+
+// Total returns the objective value Fairness + Access + Dissemination.
+func (s *Solution) Total() float64 {
+	return s.Fairness + s.Access + s.Dissemination
+}
+
+// Errors returned by the solver.
+var (
+	ErrBadInput = errors.New("exact: invalid input")
+)
+
+// SolveChunk finds the optimal caching set for one chunk under the current
+// cache state: min over A of Σ_{i∈A} f_i + Σ_j min_{i∈A∪{v}} c_ij +
+// SteinerOpt(A ∪ {v}).
+func SolveChunk(g *graph.Graph, st *cache.State, producer int, opts Options) (*Solution, error) {
+	if g == nil || st == nil || g.NumNodes() != st.NumNodes() {
+		return nil, fmt.Errorf("%w: graph/state mismatch", ErrBadInput)
+	}
+	n := g.NumNodes()
+	if producer < 0 || producer >= n {
+		return nil, fmt.Errorf("%w: producer %d", ErrBadInput, producer)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("%w: graph not connected", ErrBadInput)
+	}
+	maxSize := opts.MaxSubsetSize
+	if maxSize <= 0 || maxSize > steiner.MaxExactTerminals-1 {
+		maxSize = steiner.MaxExactTerminals - 1
+	}
+
+	s := newSearch(g, st, producer, opts, maxSize)
+	s.run()
+
+	// Optimality is proven only when neither the node budget nor the
+	// subset-size cap could have hidden a better solution.
+	proven := !s.budgetHit && maxSize >= len(s.candidates)
+	sol := &Solution{
+		Facilities:    append([]int(nil), s.bestSet...),
+		Fairness:      s.bestFair,
+		Access:        s.bestAccess,
+		Dissemination: s.bestSteiner,
+		Optimal:       proven,
+		Explored:      s.explored,
+	}
+	sort.Ints(sol.Facilities)
+	return sol, nil
+}
+
+// search carries the branch-and-bound state.
+type search struct {
+	g        *graph.Graph
+	producer int
+	opts     Options
+	maxSize  int
+
+	candidates []int       // eligible caching nodes, in branching order
+	fair       []float64   // weighted fairness cost per node
+	conn       [][]float64 // c_ij under the current state
+	edgeCost   graph.EdgeWeightFunc
+	spDist     [][]float64 // all-pairs shortest path dist under edgeCost
+	// suffixMin[k][j]: min connection cost from candidates[k:] to j.
+	suffixMin [][]float64
+
+	demands []int // all nodes except the producer
+
+	bestCost    float64
+	bestSet     []int
+	bestFair    float64
+	bestAccess  float64
+	bestSteiner float64
+
+	explored  int
+	budgetHit bool
+
+	cur []int // current subset (candidate indices -> node ids)
+}
+
+func newSearch(g *graph.Graph, st *cache.State, producer int, opts Options, maxSize int) *search {
+	n := g.NumNodes()
+	s := &search{
+		g:        g,
+		producer: producer,
+		opts:     opts,
+		maxSize:  maxSize,
+		conn:     contention.ComputeCosts(g, st).C,
+		edgeCost: contention.EdgeCostFunc(g, st),
+		bestCost: math.Inf(1),
+	}
+	s.fair = make([]float64, n)
+	for i := 0; i < n; i++ {
+		fc := st.FairnessCost(i)
+		if !math.IsInf(fc, 1) {
+			fc *= opts.FairnessWeight
+		}
+		s.fair[i] = fc
+	}
+	for j := 0; j < n; j++ {
+		if j != producer {
+			s.demands = append(s.demands, j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if i != producer && st.Free(i) > 0 {
+			s.candidates = append(s.candidates, i)
+		}
+	}
+	// Branch on high-savings candidates first for stronger pruning.
+	savings := make(map[int]float64, len(s.candidates))
+	for _, i := range s.candidates {
+		total := 0.0
+		for _, j := range s.demands {
+			if d := s.conn[producer][j] - s.conn[i][j]; d > 0 {
+				total += d
+			}
+		}
+		savings[i] = total
+	}
+	sort.SliceStable(s.candidates, func(a, b int) bool {
+		return savings[s.candidates[a]] > savings[s.candidates[b]]
+	})
+
+	// Suffix minima of connection costs over the branching order.
+	m := len(s.candidates)
+	s.suffixMin = make([][]float64, m+1)
+	s.suffixMin[m] = make([]float64, n)
+	for j := range s.suffixMin[m] {
+		s.suffixMin[m][j] = math.Inf(1)
+	}
+	for k := m - 1; k >= 0; k-- {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = math.Min(s.suffixMin[k+1][j], s.conn[s.candidates[k]][j])
+		}
+		s.suffixMin[k] = row
+	}
+
+	// All-pairs shortest-path distances under the edge costs (for the
+	// metric-closure MST Steiner lower bound).
+	s.spDist = make([][]float64, n)
+	for v := 0; v < n; v++ {
+		s.spDist[v], _ = g.Dijkstra(v, s.edgeCost)
+	}
+	return s
+}
+
+func (s *search) run() {
+	// Baseline: cache nowhere, everyone fetches from the producer.
+	s.evaluate(nil)
+	s.dfs(0)
+}
+
+// dfs explores subsets of candidates[k:] added to s.cur.
+func (s *search) dfs(k int) {
+	if s.budgetHit || k == len(s.candidates) || len(s.cur) == s.maxSize {
+		return
+	}
+	if s.opts.NodeBudget > 0 && s.explored >= s.opts.NodeBudget {
+		s.budgetHit = true
+		return
+	}
+	if s.lowerBound(k) >= s.bestCost-1e-9 {
+		return
+	}
+
+	// Branch 1: include candidates[k].
+	v := s.candidates[k]
+	if !math.IsInf(s.fair[v], 1) {
+		s.cur = append(s.cur, v)
+		s.evaluate(s.cur)
+		s.dfs(k + 1)
+		s.cur = s.cur[:len(s.cur)-1]
+	}
+	// Branch 2: exclude candidates[k].
+	s.dfs(k + 1)
+}
+
+// lowerBound gives an admissible bound for any extension of s.cur with
+// nodes from candidates[k:]: fairness can only grow, access is bounded by
+// the best conceivable assignment, and the Steiner cost of a superset is
+// at least the metric-closure MST of the current terminals halved.
+func (s *search) lowerBound(k int) float64 {
+	fairness := 0.0
+	for _, i := range s.cur {
+		fairness += s.fair[i]
+	}
+	access := 0.0
+	for _, j := range s.demands {
+		best := s.conn[s.producer][j]
+		for _, i := range s.cur {
+			if c := s.conn[i][j]; c < best {
+				best = c
+			}
+		}
+		if c := s.suffixMin[k][j]; c < best {
+			best = c
+		}
+		access += best
+	}
+	steinerLB := 0.0
+	if len(s.cur) > 0 {
+		steinerLB = s.closureMST(append([]int{s.producer}, s.cur...)) / 2
+	}
+	return fairness + access + steinerLB
+}
+
+// evaluate computes the exact objective of caching set A and updates the
+// incumbent.
+func (s *search) evaluate(set []int) {
+	s.explored++
+	fairness := 0.0
+	for _, i := range set {
+		fairness += s.fair[i]
+	}
+	access := 0.0
+	for _, j := range s.demands {
+		best := s.conn[s.producer][j]
+		for _, i := range set {
+			if c := s.conn[i][j]; c < best {
+				best = c
+			}
+		}
+		access += best
+	}
+	if len(set) == 0 {
+		if cost := fairness + access; cost < s.bestCost {
+			s.bestCost, s.bestSet = cost, nil
+			s.bestFair, s.bestAccess, s.bestSteiner = fairness, access, 0
+		}
+		return
+	}
+
+	terminals := append([]int{s.producer}, set...)
+	// Cheap admissible screen before the exponential exact Steiner.
+	if fairness+access+s.closureMST(terminals)/2 >= s.bestCost-1e-9 {
+		return
+	}
+	stCost, err := steiner.ExactCost(s.g, s.edgeCost, terminals)
+	if err != nil {
+		return // oversized terminal set; subset-size cap prevents this
+	}
+	if cost := fairness + access + stCost; cost < s.bestCost {
+		s.bestCost = cost
+		s.bestSet = append([]int(nil), set...)
+		s.bestFair, s.bestAccess, s.bestSteiner = fairness, access, stCost
+	}
+}
+
+// closureMST returns the MST weight of the metric closure of the terminal
+// set under shortest-path distances (a 2-approximation upper bound on the
+// Steiner optimum, hence /2 is a lower bound).
+func (s *search) closureMST(terminals []int) float64 {
+	k := len(terminals)
+	if k <= 1 {
+		return 0
+	}
+	inTree := make([]bool, k)
+	dist := make([]float64, k)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for i := 1; i < k; i++ {
+		dist[i] = s.spDist[terminals[0]][terminals[i]]
+	}
+	total := 0.0
+	for added := 1; added < k; added++ {
+		best := -1
+		for i := range dist {
+			if !inTree[i] && (best < 0 || dist[i] < dist[best]) {
+				best = i
+			}
+		}
+		total += dist[best]
+		inTree[best] = true
+		for i := range dist {
+			if !inTree[i] {
+				if d := s.spDist[terminals[best]][terminals[i]]; d < dist[i] {
+					dist[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// Placement is the outcome of the iterative exact solver across chunks.
+type Placement struct {
+	Producer int
+	Chunks   []Solution
+	State    *cache.State
+}
+
+// CacheNodes returns per-chunk holder sets for the metrics evaluation.
+func (p *Placement) CacheNodes() [][]int {
+	out := make([][]int, len(p.Chunks))
+	for i, c := range p.Chunks {
+		out[i] = append([]int(nil), c.Facilities...)
+	}
+	return out
+}
+
+// Objective returns the summed per-chunk objective values.
+func (p *Placement) Objective() float64 {
+	total := 0.0
+	for i := range p.Chunks {
+		total += p.Chunks[i].Total()
+	}
+	return total
+}
+
+// Optimal reports whether every chunk's search completed exhaustively.
+func (p *Placement) Optimal() bool {
+	for i := range p.Chunks {
+		if !p.Chunks[i].Optimal {
+			return false
+		}
+	}
+	return true
+}
+
+// PlaceChunks runs the iterative exact solver: for each chunk the optimal
+// ConFL solution under the current state is computed and committed, just
+// like the paper's brute-force baseline solves Eq. (8) chunk by chunk.
+func PlaceChunks(g *graph.Graph, producer, chunks int, st *cache.State, opts Options) (*Placement, error) {
+	if chunks <= 0 {
+		return nil, fmt.Errorf("%w: chunks %d", ErrBadInput, chunks)
+	}
+	p := &Placement{Producer: producer, State: st}
+	for n := 0; n < chunks; n++ {
+		sol, err := SolveChunk(g, st, producer, opts)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", n, err)
+		}
+		for _, i := range sol.Facilities {
+			if err := st.Store(i, n); err != nil {
+				return nil, fmt.Errorf("chunk %d store on %d: %w", n, i, err)
+			}
+		}
+		p.Chunks = append(p.Chunks, *sol)
+	}
+	return p, nil
+}

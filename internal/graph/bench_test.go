@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkHopDistancesGrid16x16(b *testing.B) {
+	g := NewGrid(16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.HopDistances(0)
+	}
+}
+
+func BenchmarkAllPairsHopsGrid12x12(b *testing.B) {
+	g := NewGrid(12, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.AllPairsHops()
+	}
+}
+
+func BenchmarkNodeCostPathsGrid12x12(b *testing.B) {
+	g := NewGrid(12, 12)
+	w := make([]float64, g.NumNodes())
+	for i := range w {
+		w[i] = float64(1 + i%4)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.NodeCostPaths(i%g.NumNodes(), w)
+	}
+}
+
+func BenchmarkDijkstraGrid12x12(b *testing.B) {
+	g := NewGrid(12, 12)
+	w := func(u, v int) float64 { return float64(1 + (u+v)%5) }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Dijkstra(i%g.NumNodes(), w)
+	}
+}
+
+func BenchmarkRandomGeometric100(b *testing.B) {
+	rg := RandomGeometric{N: 100, Radius: DefaultRadius(100)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rg.Generate(rand.New(rand.NewSource(int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

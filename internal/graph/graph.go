@@ -1,0 +1,306 @@
+// Package graph provides the undirected network-topology substrate used by
+// every layer of the fair-caching system: grid and random-geometric
+// generators, hop-count and weighted shortest paths, connectivity queries
+// and k-hop neighborhoods.
+//
+// Nodes are dense integers in [0, N). The graph is simple (no self loops,
+// no parallel edges) and undirected.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge between nodes U and V with U < V.
+type Edge struct {
+	U, V int
+}
+
+// Canonical returns e with its endpoints ordered so that U < V.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not v.
+// It panics if v is not an endpoint of e.
+func (e Edge) Other(v int) int {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %v", v, e))
+	}
+}
+
+// Graph is a simple undirected graph over nodes 0..n-1.
+//
+// The zero value is an empty graph with no nodes; use New to create a graph
+// with a fixed node count.
+type Graph struct {
+	n     int
+	adj   [][]int
+	edges []Edge
+}
+
+// ErrNodeOutOfRange reports an edge endpoint outside [0, N).
+var ErrNodeOutOfRange = errors.New("graph: node out of range")
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:   n,
+		adj: make([][]int, n),
+	}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge {u, v}. Inserting an existing edge or
+// a self loop is a no-op. It returns ErrNodeOutOfRange if either endpoint is
+// outside [0, N).
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: edge {%d,%d} in graph of %d nodes", ErrNodeOutOfRange, u, v, g.n)
+	}
+	if u == v || g.HasEdge(u, v) {
+		return nil
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges = append(g.edges, Edge{U: u, V: v}.Canonical())
+	return nil
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the neighbors of v. The returned slice is shared with
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the number of neighbors of v. In the contention model of
+// the paper this is the Node Contention Cost w_v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Edges returns a copy of the edge list with canonical (U < V) endpoints,
+// sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.edges = make([]Edge, len(g.edges))
+	copy(c.edges, g.edges)
+	for v, nbrs := range g.adj {
+		c.adj[v] = append([]int(nil), nbrs...)
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by keep, together with a
+// mapping from new node ids to original ids. Nodes are renumbered densely
+// in increasing original-id order.
+func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
+	orig := append([]int(nil), keep...)
+	sort.Ints(orig)
+	// Drop duplicates.
+	orig = dedupSortedInts(orig)
+	index := make(map[int]int, len(orig))
+	for i, v := range orig {
+		index[v] = i
+	}
+	sub := New(len(orig))
+	for _, e := range g.edges {
+		iu, uok := index[e.U]
+		iv, vok := index[e.V]
+		if uok && vok {
+			_ = sub.AddEdge(iu, iv) // endpoints are in range by construction
+		}
+	}
+	return sub, orig
+}
+
+// Connected reports whether the graph is connected. The empty graph and the
+// single-node graph are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	return len(g.componentOf(0)) == g.n
+}
+
+// Components returns the connected components as slices of node ids, each
+// sorted, ordered by their smallest node id.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for v := 0; v < g.n; v++ {
+		if seen[v] {
+			continue
+		}
+		comp := g.componentOf(v)
+		for _, u := range comp {
+			seen[u] = true
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// LargestComponent returns the nodes of the largest connected component,
+// sorted. Ties break toward the component containing the smallest node id.
+func (g *Graph) LargestComponent() []int {
+	var best []int
+	for _, comp := range g.Components() {
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	return best
+}
+
+func (g *Graph) componentOf(start int) []int {
+	seen := make([]bool, g.n)
+	queue := []int{start}
+	seen[start] = true
+	var comp []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		comp = append(comp, v)
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return comp
+}
+
+// Unreachable marks an unreachable node in hop-distance results.
+const Unreachable = -1
+
+// HopDistances returns the BFS hop distance from src to every node.
+// Unreachable nodes get Unreachable (-1).
+func (g *Graph) HopDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] == Unreachable {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsHops returns the hop-distance matrix via repeated BFS
+// (O(N·(N+E)), faster than Floyd–Warshall on sparse wireless topologies).
+// Unreachable pairs get Unreachable (-1).
+func (g *Graph) AllPairsHops() [][]int {
+	all := make([][]int, g.n)
+	for v := 0; v < g.n; v++ {
+		all[v] = g.HopDistances(v)
+	}
+	return all
+}
+
+// KHopNeighbors returns all nodes within k hops of v, excluding v itself,
+// sorted by node id.
+func (g *Graph) KHopNeighbors(v, k int) []int {
+	if k <= 0 || v < 0 || v >= g.n {
+		return nil
+	}
+	dist := g.boundedHopDistances(v, k)
+	var out []int
+	for u, d := range dist {
+		if u != v && d != Unreachable {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// boundedHopDistances is BFS from src truncated at maxHops.
+func (g *Graph) boundedHopDistances(src, maxHops int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if dist[v] == maxHops {
+			continue
+		}
+		for _, w := range g.adj[v] {
+			if dist[w] == Unreachable {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+func dedupSortedInts(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

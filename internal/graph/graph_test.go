@@ -1,0 +1,420 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridShape(t *testing.T) {
+	tests := []struct {
+		rows, cols    int
+		wantNodes     int
+		wantEdges     int
+		wantCornerDeg int
+		wantInnerDeg  int
+	}{
+		{rows: 1, cols: 1, wantNodes: 1, wantEdges: 0, wantCornerDeg: 0, wantInnerDeg: 0},
+		{rows: 2, cols: 2, wantNodes: 4, wantEdges: 4, wantCornerDeg: 2, wantInnerDeg: 2},
+		{rows: 3, cols: 3, wantNodes: 9, wantEdges: 12, wantCornerDeg: 2, wantInnerDeg: 4},
+		{rows: 4, cols: 6, wantNodes: 24, wantEdges: 38, wantCornerDeg: 2, wantInnerDeg: 4},
+		{rows: 6, cols: 6, wantNodes: 36, wantEdges: 60, wantCornerDeg: 2, wantInnerDeg: 4},
+	}
+	for _, tt := range tests {
+		g := NewGrid(tt.rows, tt.cols)
+		if g.NumNodes() != tt.wantNodes {
+			t.Errorf("NewGrid(%d,%d).NumNodes() = %d, want %d", tt.rows, tt.cols, g.NumNodes(), tt.wantNodes)
+		}
+		if g.NumEdges() != tt.wantEdges {
+			t.Errorf("NewGrid(%d,%d).NumEdges() = %d, want %d", tt.rows, tt.cols, g.NumEdges(), tt.wantEdges)
+		}
+		if g.NumNodes() > 0 && g.Degree(0) != tt.wantCornerDeg {
+			t.Errorf("NewGrid(%d,%d) corner degree = %d, want %d", tt.rows, tt.cols, g.Degree(0), tt.wantCornerDeg)
+		}
+		if tt.rows >= 3 && tt.cols >= 3 {
+			inner := 1*tt.cols + 1
+			if g.Degree(inner) != tt.wantInnerDeg {
+				t.Errorf("NewGrid(%d,%d) inner degree = %d, want %d", tt.rows, tt.cols, g.Degree(inner), tt.wantInnerDeg)
+			}
+		}
+		if !g.Connected() {
+			t.Errorf("NewGrid(%d,%d) not connected", tt.rows, tt.cols)
+		}
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("AddEdge(0,3) on 3-node graph: want error, got nil")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Error("AddEdge(-1,0): want error, got nil")
+	}
+	if err := g.AddEdge(1, 1); err != nil {
+		t.Errorf("AddEdge self loop: want silent no-op, got %v", err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("self loop added an edge: NumEdges() = %d", g.NumEdges())
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge(0,1): %v", err)
+	}
+	if err := g.AddEdge(1, 0); err != nil {
+		t.Fatalf("duplicate AddEdge(1,0): %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("duplicate edge inserted: NumEdges() = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestEdgeCanonicalAndOther(t *testing.T) {
+	e := Edge{U: 5, V: 2}.Canonical()
+	if e.U != 2 || e.V != 5 {
+		t.Errorf("Canonical() = %v, want {2 5}", e)
+	}
+	if got := e.Other(2); got != 5 {
+		t.Errorf("Other(2) = %d, want 5", got)
+	}
+	if got := e.Other(5); got != 2 {
+		t.Errorf("Other(5) = %d, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Other(non-endpoint) did not panic")
+		}
+	}()
+	e.Other(7)
+}
+
+func TestHopDistancesOnGrid(t *testing.T) {
+	g := NewGrid(3, 3)
+	d := g.HopDistances(0)
+	want := []int{0, 1, 2, 1, 2, 3, 2, 3, 4}
+	for v, wd := range want {
+		if d[v] != wd {
+			t.Errorf("HopDistances(0)[%d] = %d, want %d", v, d[v], wd)
+		}
+	}
+}
+
+func TestHopDistancesUnreachable(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 2, 3)
+	d := g.HopDistances(0)
+	if d[2] != Unreachable || d[3] != Unreachable {
+		t.Errorf("disconnected nodes: got %v, want Unreachable for 2 and 3", d)
+	}
+}
+
+func TestAllPairsHopsMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := randomConnectedGraph(rng, 2+rng.Intn(20))
+		bfs := g.AllPairsHops()
+		fw := g.FloydWarshallHops()
+		for i := range bfs {
+			for j := range bfs[i] {
+				if bfs[i][j] != fw[i][j] {
+					t.Fatalf("trial %d: hops(%d,%d) BFS=%d FW=%d", trial, i, j, bfs[i][j], fw[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 3, 4)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("Components() count = %d, want 3", len(comps))
+	}
+	if got := g.LargestComponent(); len(got) != 3 || got[0] != 0 {
+		t.Errorf("LargestComponent() = %v, want [0 1 2]", got)
+	}
+	if g.Connected() {
+		t.Error("Connected() = true on disconnected graph")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := NewGrid(2, 3) // nodes 0..5
+	sub, orig := g.InducedSubgraph([]int{0, 1, 4, 4, 3})
+	if sub.NumNodes() != 4 {
+		t.Fatalf("sub.NumNodes() = %d, want 4 (dup removed)", sub.NumNodes())
+	}
+	wantOrig := []int{0, 1, 3, 4}
+	for i, v := range wantOrig {
+		if orig[i] != v {
+			t.Errorf("orig[%d] = %d, want %d", i, orig[i], v)
+		}
+	}
+	// Edges within {0,1,3,4}: 0-1, 0-3, 1-4, 3-4.
+	if sub.NumEdges() != 4 {
+		t.Errorf("sub.NumEdges() = %d, want 4", sub.NumEdges())
+	}
+}
+
+func TestKHopNeighbors(t *testing.T) {
+	g := NewGrid(3, 3)
+	center := 4
+	oneHop := g.KHopNeighbors(center, 1)
+	if len(oneHop) != 4 {
+		t.Errorf("KHopNeighbors(4,1) = %v, want 4 nodes", oneHop)
+	}
+	twoHop := g.KHopNeighbors(center, 2)
+	if len(twoHop) != 8 {
+		t.Errorf("KHopNeighbors(4,2) = %v, want all 8 other nodes", twoHop)
+	}
+	if got := g.KHopNeighbors(center, 0); got != nil {
+		t.Errorf("KHopNeighbors(4,0) = %v, want nil", got)
+	}
+}
+
+func TestNodeCostPathsUniformWeightsMatchHops(t *testing.T) {
+	g := NewGrid(4, 4)
+	w := make([]float64, g.NumNodes())
+	for i := range w {
+		w[i] = 1
+	}
+	for src := 0; src < g.NumNodes(); src++ {
+		hops := g.HopDistances(src)
+		cost, pred := g.NodeCostPaths(src, w)
+		for dst := 0; dst < g.NumNodes(); dst++ {
+			// Unit node weights with both endpoints counted: cost = hops+1
+			// for dst != src, 0 for dst == src.
+			want := float64(hops[dst] + 1)
+			if dst == src {
+				want = 0
+			}
+			if cost[dst] != want {
+				t.Fatalf("NodeCostPaths(%d)[%d] = %g, want %g", src, dst, cost[dst], want)
+			}
+			path := PathTo(pred, src, dst)
+			if len(path) != hops[dst]+1 {
+				t.Fatalf("PathTo(%d,%d) length = %d, want %d", src, dst, len(path), hops[dst]+1)
+			}
+		}
+	}
+}
+
+func TestNodeCostPathsPrefersCheapEqualHopPath(t *testing.T) {
+	// Diamond: 0-1-3 and 0-2-3, both 2 hops; node 2 is cheap.
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 3)
+	w := []float64{1, 100, 1, 1}
+	cost, pred := g.NodeCostPaths(0, w)
+	if cost[3] != 3 { // w0 + w2 + w3
+		t.Errorf("cost[3] = %g, want 3 (via cheap node 2)", cost[3])
+	}
+	path := PathTo(pred, 0, 3)
+	if len(path) != 3 || path[1] != 2 {
+		t.Errorf("PathTo = %v, want [0 2 3]", path)
+	}
+}
+
+func TestNodeCostPathsUnreachable(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1)
+	cost, pred := g.NodeCostPaths(0, []float64{1, 1, 1})
+	if cost[2] != Infinite {
+		t.Errorf("cost[2] = %g, want +Inf", cost[2])
+	}
+	if got := PathTo(pred, 0, 2); got != nil {
+		t.Errorf("PathTo unreachable = %v, want nil", got)
+	}
+}
+
+func TestDijkstraOnWeightedDiamond(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 3)
+	w := func(u, v int) float64 {
+		if u > v {
+			u, v = v, u
+		}
+		if u == 0 && v == 1 {
+			return 10
+		}
+		return 1
+	}
+	dist, pred := g.Dijkstra(0, w)
+	if dist[3] != 2 {
+		t.Errorf("dist[3] = %g, want 2", dist[3])
+	}
+	if path := PathTo(pred, 0, 3); len(path) != 3 || path[1] != 2 {
+		t.Errorf("path = %v, want [0 2 3]", path)
+	}
+	if dist[1] != 3 { // via 0-2-3-1? no: 0-2(1)-3(1)-1(1) = 3 < direct 10
+		t.Errorf("dist[1] = %g, want 3", dist[1])
+	}
+}
+
+func TestCentralNodeOnGrid(t *testing.T) {
+	g := NewGrid(3, 3)
+	if got := CentralNode(g); got != 4 {
+		t.Errorf("CentralNode(3x3) = %d, want 4", got)
+	}
+}
+
+func TestRandomGeometricConnectedAndDeterministic(t *testing.T) {
+	for _, n := range []int{5, 20, 60} {
+		rg := RandomGeometric{N: n, Radius: DefaultRadius(n)}
+		g1, pts1, err := rg.Generate(rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatalf("Generate(n=%d): %v", n, err)
+		}
+		if !g1.Connected() {
+			t.Errorf("n=%d: generated graph not connected", n)
+		}
+		if len(pts1) != n {
+			t.Errorf("n=%d: got %d points", n, len(pts1))
+		}
+		g2, _, err := rg.Generate(rand.New(rand.NewSource(42)))
+		if err != nil {
+			t.Fatalf("Generate(n=%d) second run: %v", n, err)
+		}
+		if g1.NumEdges() != g2.NumEdges() {
+			t.Errorf("n=%d: same seed produced different graphs (%d vs %d edges)", n, g1.NumEdges(), g2.NumEdges())
+		}
+	}
+}
+
+func TestRandomGeometricBridgesSparseRadius(t *testing.T) {
+	// Radius so small the sample is almost surely disconnected; the
+	// generator must stitch components rather than return a broken graph.
+	rg := RandomGeometric{N: 30, Radius: 0.01}
+	g, _, err := rg.Generate(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !g.Connected() {
+		t.Error("sparse-radius graph not bridged to connectivity")
+	}
+}
+
+func TestRandomGeometricRejectsBadParams(t *testing.T) {
+	if _, _, err := (RandomGeometric{N: 0, Radius: 0.5}).Generate(rand.New(rand.NewSource(1))); err == nil {
+		t.Error("N=0: want error")
+	}
+	if _, _, err := (RandomGeometric{N: 5, Radius: 0}).Generate(rand.New(rand.NewSource(1))); err == nil {
+		t.Error("Radius=0: want error")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := NewGrid(2, 2)
+	c := g.Clone()
+	mustEdge(t, c, 0, 3)
+	if g.HasEdge(0, 3) {
+		t.Error("Clone shares edge storage with original")
+	}
+	if g.Degree(0) == c.Degree(0) {
+		t.Error("Clone shares adjacency storage with original")
+	}
+}
+
+// Property: BFS hop distances satisfy the triangle inequality over one edge
+// and are symmetric on random connected graphs.
+func TestHopDistanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64, sizeRaw uint8) bool {
+		n := 2 + int(sizeRaw)%18
+		g := randomConnectedGraph(rand.New(rand.NewSource(seed)), n)
+		all := g.AllPairsHops()
+		for i := 0; i < n; i++ {
+			if all[i][i] != 0 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if all[i][j] != all[j][i] {
+					return false
+				}
+				for _, e := range g.Edges() {
+					if all[i][e.U] > all[i][e.V]+1 || all[i][e.V] > all[i][e.U]+1 {
+						return false
+					}
+					_ = j
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NodeCostPaths cost equals the node-weight sum along the
+// reconstructed path, and the path is hop-shortest.
+func TestNodeCostPathsCostMatchesPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64, sizeRaw uint8) bool {
+		n := 2 + int(sizeRaw)%15
+		lr := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(lr, n)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 1 + lr.Float64()*10
+		}
+		src := lr.Intn(n)
+		hops := g.HopDistances(src)
+		cost, pred := g.NodeCostPaths(src, w)
+		for dst := 0; dst < n; dst++ {
+			path := PathTo(pred, src, dst)
+			if dst == src {
+				if cost[dst] != 0 {
+					return false
+				}
+				continue
+			}
+			if len(path) != hops[dst]+1 {
+				return false
+			}
+			sum := 0.0
+			for _, v := range path {
+				sum += w[v]
+			}
+			if diff := sum - cost[dst]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+// randomConnectedGraph builds a random connected graph on n nodes: a random
+// spanning tree plus random extra edges.
+func randomConnectedGraph(rng *rand.Rand, n int) *Graph {
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		_ = g.AddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	extra := rng.Intn(n + 1)
+	for i := 0; i < extra; i++ {
+		_ = g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}

@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Infinite is the distance reported for unreachable pairs by the weighted
+// shortest-path routines.
+var Infinite = math.Inf(1)
+
+// NodeCostPaths computes, for every destination t, the minimum total node
+// weight of a *hop-shortest* path from src to t, where the total includes
+// the weights of both endpoints. The cost from src to itself is 0.
+//
+// This matches the paper's Path Contention Cost (Eq. 2): data packets
+// travel along the shortest hop path, and every node on the path (sender,
+// relays and receiver all transmit or receive the chunk) contributes its
+// node contention cost. Among equal-hop paths the cheapest one is chosen,
+// which makes the matrix deterministic.
+//
+// The second return value gives, for each destination, a predecessor on the
+// chosen path (-1 for src and unreachable nodes), so the path itself can be
+// reconstructed.
+func (g *Graph) NodeCostPaths(src int, weight []float64) (cost []float64, pred []int) {
+	cost = make([]float64, g.n)
+	pred = make([]int, g.n)
+	for i := range cost {
+		cost[i] = Infinite
+		pred[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return cost, pred
+	}
+
+	hop := g.HopDistances(src)
+	// Process nodes in increasing hop order; within a layer, each node's
+	// cost is min over predecessors in the previous layer.
+	order := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if hop[v] != Unreachable {
+			order = append(order, v)
+		}
+	}
+	// Counting-sort by hop distance (hop values are < n).
+	buckets := make([][]int, g.n+1)
+	for _, v := range order {
+		buckets[hop[v]] = append(buckets[hop[v]], v)
+	}
+
+	cost[src] = weight[src]
+	for h := 1; h <= g.n; h++ {
+		for _, v := range buckets[h] {
+			for _, u := range g.adj[v] {
+				if hop[u] != h-1 || cost[u] == Infinite {
+					continue
+				}
+				if c := cost[u] + weight[v]; c < cost[v] {
+					cost[v] = c
+					pred[v] = u
+				}
+			}
+		}
+	}
+	cost[src] = 0 // a node already holding the data pays nothing
+	return cost, pred
+}
+
+// PathTo reconstructs the node sequence from the source used to build pred
+// to dst (inclusive of both endpoints). It returns nil if dst is
+// unreachable.
+func PathTo(pred []int, src, dst int) []int {
+	if dst < 0 || dst >= len(pred) {
+		return nil
+	}
+	if dst == src {
+		return []int{src}
+	}
+	if pred[dst] == -1 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = pred[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// EdgeWeightFunc gives the cost of traversing the undirected edge {u, v}.
+// It must be symmetric and non-negative.
+type EdgeWeightFunc func(u, v int) float64
+
+// Dijkstra computes edge-weighted shortest-path distances and predecessors
+// from src using the supplied edge weights. Unreachable nodes get Infinite
+// distance and predecessor -1.
+func (g *Graph) Dijkstra(src int, w EdgeWeightFunc) (dist []float64, pred []int) {
+	dist = make([]float64, g.n)
+	pred = make([]int, g.n)
+	for i := range dist {
+		dist[i] = Infinite
+		pred[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return dist, pred
+	}
+	dist[src] = 0
+	pq := &distHeap{items: []distItem{{node: src, dist: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, v := range g.adj[it.node] {
+			if d := it.dist + w(it.node, v); d < dist[v] {
+				dist[v] = d
+				pred[v] = it.node
+				heap.Push(pq, distItem{node: v, dist: d})
+			}
+		}
+	}
+	return dist, pred
+}
+
+type distItem struct {
+	node int
+	dist float64
+}
+
+type distHeap struct {
+	items []distItem
+}
+
+func (h *distHeap) Len() int           { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool { return h.items[i].dist < h.items[j].dist }
+func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// FloydWarshallHops computes the all-pairs hop-distance matrix with the
+// classic O(N^3) dynamic program. It exists alongside AllPairsHops (which
+// is faster on sparse graphs) because the paper's complexity analysis
+// references Floyd–Warshall; tests assert the two agree.
+func (g *Graph) FloydWarshallHops() [][]int {
+	const inf = math.MaxInt32 / 4
+	d := make([][]int, g.n)
+	for i := range d {
+		d[i] = make([]int, g.n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = inf
+			}
+		}
+	}
+	for _, e := range g.edges {
+		d[e.U][e.V] = 1
+		d[e.V][e.U] = 1
+	}
+	for k := 0; k < g.n; k++ {
+		for i := 0; i < g.n; i++ {
+			dik := d[i][k]
+			if dik >= inf {
+				continue
+			}
+			for j := 0; j < g.n; j++ {
+				if v := dik + d[k][j]; v < d[i][j] {
+					d[i][j] = v
+				}
+			}
+		}
+	}
+	for i := range d {
+		for j := range d[i] {
+			if d[i][j] >= inf {
+				d[i][j] = Unreachable
+			}
+		}
+	}
+	return d
+}

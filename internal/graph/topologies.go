@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NewLine returns a path network 0-1-...-(n-1): the worst-case diameter
+// topology (e.g. vehicles along a road segment).
+func NewLine(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		_ = g.AddEdge(i-1, i) // in range by construction
+	}
+	return g
+}
+
+// NewRing returns a cycle over n nodes (n ≥ 3), a line closed at the ends.
+func NewRing(n int) *Graph {
+	g := NewLine(n)
+	if n >= 3 {
+		_ = g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Clustered describes a clustered random topology: dense node groups
+// (crowds around points of interest) connected by sparse bridges — the
+// structure of the paper's motivating outdoor-event scenario.
+type Clustered struct {
+	// Clusters is the number of groups (≥ 1).
+	Clusters int
+	// Size is the number of nodes per group (≥ 1).
+	Size int
+	// IntraProb is the connection probability inside a group (0, 1].
+	IntraProb float64
+	// Bridges is the number of links added between adjacent groups (≥ 1).
+	Bridges int
+}
+
+// Generate draws a connected clustered topology using rng. Total nodes =
+// Clusters × Size, grouped contiguously (group g holds nodes
+// g·Size..(g+1)·Size−1).
+func (c Clustered) Generate(rng *rand.Rand) (*Graph, error) {
+	if c.Clusters < 1 || c.Size < 1 {
+		return nil, fmt.Errorf("graph: clustered needs clusters >= 1 and size >= 1, got %d, %d", c.Clusters, c.Size)
+	}
+	if c.IntraProb <= 0 || c.IntraProb > 1 {
+		return nil, fmt.Errorf("graph: clustered intra probability %g out of (0,1]", c.IntraProb)
+	}
+	bridges := c.Bridges
+	if bridges < 1 {
+		bridges = 1
+	}
+	n := c.Clusters * c.Size
+	g := New(n)
+
+	for cl := 0; cl < c.Clusters; cl++ {
+		base := cl * c.Size
+		// Spanning path keeps each group connected regardless of the
+		// probability draw.
+		for i := 1; i < c.Size; i++ {
+			_ = g.AddEdge(base+i-1, base+i)
+		}
+		for i := 0; i < c.Size; i++ {
+			for j := i + 1; j < c.Size; j++ {
+				if rng.Float64() < c.IntraProb {
+					_ = g.AddEdge(base+i, base+j)
+				}
+			}
+		}
+	}
+	// Sparse bridges between consecutive groups.
+	for cl := 1; cl < c.Clusters; cl++ {
+		prev, cur := (cl-1)*c.Size, cl*c.Size
+		for b := 0; b < bridges; b++ {
+			_ = g.AddEdge(prev+rng.Intn(c.Size), cur+rng.Intn(c.Size))
+		}
+	}
+	return g, nil
+}

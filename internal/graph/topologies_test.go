@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewLine(t *testing.T) {
+	g := NewLine(5)
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Errorf("line(5): %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Error("line not connected")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 || g.Degree(4) != 1 {
+		t.Error("line degrees wrong")
+	}
+	if d := g.HopDistances(0); d[4] != 4 {
+		t.Errorf("line diameter = %d, want 4", d[4])
+	}
+	if empty := NewLine(0); empty.NumNodes() != 0 {
+		t.Error("empty line")
+	}
+}
+
+func TestNewRing(t *testing.T) {
+	g := NewRing(6)
+	if g.NumEdges() != 6 {
+		t.Errorf("ring(6) edges = %d, want 6", g.NumEdges())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("ring node %d degree = %d", v, g.Degree(v))
+		}
+	}
+	if d := g.HopDistances(0); d[3] != 3 || d[5] != 1 {
+		t.Errorf("ring distances wrong: %v", d)
+	}
+	// Degenerate sizes do not close the loop.
+	if g2 := NewRing(2); g2.NumEdges() != 1 {
+		t.Errorf("ring(2) edges = %d, want 1 (no loop closure)", g2.NumEdges())
+	}
+}
+
+func TestClusteredGenerate(t *testing.T) {
+	c := Clustered{Clusters: 4, Size: 8, IntraProb: 0.4, Bridges: 2}
+	g, err := c.Generate(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 32 {
+		t.Errorf("nodes = %d, want 32", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Error("clustered topology not connected")
+	}
+	// Groups are denser internally than across: count cross edges.
+	cross := 0
+	for _, e := range g.Edges() {
+		if e.U/8 != e.V/8 {
+			cross++
+		}
+	}
+	if cross > 2*3 { // at most Bridges per adjacent pair (dedup may merge)
+		t.Errorf("cross-cluster edges = %d, want <= 6", cross)
+	}
+	intra := g.NumEdges() - cross
+	if intra <= cross {
+		t.Errorf("intra %d not denser than cross %d", intra, cross)
+	}
+}
+
+func TestClusteredValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := (Clustered{Clusters: 0, Size: 5, IntraProb: 0.5}).Generate(rng); err == nil {
+		t.Error("zero clusters: want error")
+	}
+	if _, err := (Clustered{Clusters: 2, Size: 0, IntraProb: 0.5}).Generate(rng); err == nil {
+		t.Error("zero size: want error")
+	}
+	if _, err := (Clustered{Clusters: 2, Size: 5, IntraProb: 0}).Generate(rng); err == nil {
+		t.Error("zero probability: want error")
+	}
+	if _, err := (Clustered{Clusters: 2, Size: 5, IntraProb: 1.5}).Generate(rng); err == nil {
+		t.Error("probability > 1: want error")
+	}
+}
+
+func TestClusteredDeterministic(t *testing.T) {
+	c := Clustered{Clusters: 3, Size: 6, IntraProb: 0.5, Bridges: 1}
+	a, err := c.Generate(rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Generate(rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Error("same seed produced different clustered graphs")
+	}
+}

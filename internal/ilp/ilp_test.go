@@ -1,0 +1,211 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+func TestSolveChunkValidation(t *testing.T) {
+	g := graph.NewGrid(2, 2)
+	st := cache.NewState(4, 5)
+	if _, err := SolveChunk(nil, st, 0, DefaultOptions()); err == nil {
+		t.Error("nil graph: want error")
+	}
+	if _, err := SolveChunk(g, cache.NewState(3, 5), 0, DefaultOptions()); err == nil {
+		t.Error("state mismatch: want error")
+	}
+	if _, err := SolveChunk(g, st, 7, DefaultOptions()); err == nil {
+		t.Error("bad producer: want error")
+	}
+	disc := graph.New(4)
+	if err := disc.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := disc.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveChunk(disc, st, 0, DefaultOptions()); err == nil {
+		t.Error("disconnected: want error")
+	}
+}
+
+func TestSolveChunkLine(t *testing.T) {
+	// 3-node line, producer at one end, empty caches: fairness is 0 so
+	// the optimum caches at node 2 (or not at all) depending on cost
+	// trade-offs; verify against the enumeration solver.
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.NewState(3, 5)
+	got, err := SolveChunk(g, st, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exact.SolveChunk(g, cache.NewState(3, 5), 0, exact.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Optimal {
+		t.Error("tiny instance should be proven optimal")
+	}
+	if math.Abs(got.Objective-want.Total()) > 1e-6 {
+		t.Errorf("ILP = %g, enumeration = %g", got.Objective, want.Total())
+	}
+	if got.LowerBound > got.Objective+1e-6 {
+		t.Errorf("lower bound %g exceeds objective %g", got.LowerBound, got.Objective)
+	}
+}
+
+func TestSolveChunkMatchesEnumerationOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + rng.Intn(4)
+		g := randomConnectedGraph(rng, n)
+		st := cache.NewState(n, 3)
+		for k := 0; k < n/2; k++ {
+			_ = st.Store(rng.Intn(n), rng.Intn(3))
+		}
+		producer := rng.Intn(n)
+
+		ilpSol, err := SolveChunk(g, st.Clone(), producer, DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d ilp: %v", trial, err)
+		}
+		enum, err := exact.SolveChunk(g, st.Clone(), producer, exact.DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d enum: %v", trial, err)
+		}
+		if !enum.Optimal {
+			t.Fatalf("trial %d: enumeration incomplete", trial)
+		}
+		if !ilpSol.Optimal {
+			t.Errorf("trial %d: ILP not proven optimal (nodes %d, cuts %d)", trial, ilpSol.Nodes, ilpSol.Cuts)
+			continue
+		}
+		if math.Abs(ilpSol.Objective-enum.Total()) > 1e-5 {
+			t.Errorf("trial %d: ILP = %g (set %v), enumeration = %g (set %v)",
+				trial, ilpSol.Objective, ilpSol.Facilities, enum.Total(), enum.Facilities)
+		}
+		if ilpSol.LowerBound > enum.Total()+1e-5 {
+			t.Errorf("trial %d: lower bound %g exceeds optimum %g", trial, ilpSol.LowerBound, enum.Total())
+		}
+	}
+}
+
+func TestSolveChunkBudgetReportsNonOptimal(t *testing.T) {
+	g := graph.NewGrid(3, 3)
+	st := cache.NewState(9, 5)
+	opts := DefaultOptions()
+	opts.MaxNodes = 1
+	sol, err := SolveChunk(g, st, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Optimal && sol.Nodes >= 1 {
+		// A single node can close the gap only if the root LP was
+		// integral; verify the claim is consistent with the bound.
+		if math.Abs(sol.Objective-sol.LowerBound) > 1e-5 {
+			t.Errorf("claimed optimal with open gap: obj %g, bound %g", sol.Objective, sol.LowerBound)
+		}
+	}
+	if sol.Objective <= 0 || math.IsInf(sol.Objective, 1) {
+		t.Errorf("budget run must still return a finite incumbent, got %g", sol.Objective)
+	}
+}
+
+func TestSolveChunkProducerNeverInSet(t *testing.T) {
+	g := graph.NewGrid(3, 3)
+	st := cache.NewState(9, 5)
+	// A small node budget keeps this fast; the producer exclusion must
+	// hold for budget-limited incumbents too.
+	opts := DefaultOptions()
+	opts.MaxNodes = 20
+	sol, err := SolveChunk(g, st, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sol.Facilities {
+		if f == 4 {
+			t.Error("producer in facility set")
+		}
+	}
+}
+
+func TestSolveChunkFullNodesExcluded(t *testing.T) {
+	g := graph.NewGrid(2, 2)
+	st := cache.NewState(4, 1)
+	for _, v := range []int{1, 2} {
+		if err := st.Store(v, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, err := SolveChunk(g, st, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sol.Facilities {
+		if f != 3 {
+			t.Errorf("full or producer node %d selected", f)
+		}
+	}
+}
+
+func randomConnectedGraph(rng *rand.Rand, n int) *graph.Graph {
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		_ = g.AddEdge(perm[i], perm[rng.Intn(i)])
+	}
+	for i := 0; i < rng.Intn(n+1); i++ {
+		_ = g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+func TestSolveChunkGeneratesConnectivityCuts(t *testing.T) {
+	// On a line with the producer at one end, any opened facility needs
+	// dissemination support across every separating cut, so the lazy
+	// separation must fire at least once whenever a facility opens.
+	g := graph.New(6)
+	for i := 1; i < 6; i++ {
+		if err := g.AddEdge(i-1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.NewState(6, 5)
+	sol, err := SolveChunk(g, st, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Facilities) > 0 && sol.Cuts == 0 {
+		t.Errorf("facilities %v opened without any connectivity cut", sol.Facilities)
+	}
+	if sol.Nodes == 0 {
+		t.Error("no branch-and-bound nodes processed")
+	}
+}
+
+func TestSolutionObjectiveNeverBelowLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		n := 4 + rng.Intn(4)
+		g := randomConnectedGraph(rng, n)
+		st := cache.NewState(n, 3)
+		sol, err := SolveChunk(g, st, rng.Intn(n), DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Objective < sol.LowerBound-1e-6 {
+			t.Errorf("trial %d: objective %g below lower bound %g", trial, sol.Objective, sol.LowerBound)
+		}
+	}
+}

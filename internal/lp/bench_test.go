@@ -1,0 +1,45 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchProblem builds a random feasible LP with n vars and m LE rows.
+func benchProblem(n, m int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Problem{NumVars: n, Objective: make([]float64, n)}
+	for i := range p.Objective {
+		p.Objective[i] = rng.Float64()*2 - 0.5
+	}
+	for k := 0; k < m; k++ {
+		coeffs := map[int]float64{}
+		for i := 0; i < n; i++ {
+			coeffs[i] = rng.Float64() * 3
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Sense: LE, RHS: 10 + rng.Float64()*10})
+	}
+	return p
+}
+
+func BenchmarkSolve20x10(b *testing.B) {
+	p := benchProblem(20, 10, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(p, Options{})
+		if err != nil || sol.Status == Infeasible {
+			b.Fatalf("status %v err %v", sol.Status, err)
+		}
+	}
+}
+
+func BenchmarkSolve100x50(b *testing.B) {
+	p := benchProblem(100, 50, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(p, Options{})
+		if err != nil || sol.Status == Infeasible {
+			b.Fatalf("status %v err %v", sol.Status, err)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package lp is a self-contained dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c·x
+//	subject to  A·x (≤ | = | ≥) b,   x ≥ 0.
+//
+// Go has no native LP ecosystem (the usual route is wrapping a C solver);
+// this package provides the substrate the ILP branch-and-bound solver
+// (package ilp) builds on, replacing the paper's use of PuLP/CBC for the
+// brute-force optimal baseline. It favours clarity and numerical
+// robustness (Bland's rule fallback against cycling) over raw speed, which
+// is adequate for the per-chunk ConFL relaxations of the evaluation.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+const (
+	// LE is a ≤ constraint.
+	LE Sense = iota + 1
+	// EQ is an = constraint.
+	EQ
+	// GE is a ≥ constraint.
+	GE
+)
+
+// Constraint is one row: Σ Coeffs[i]·x_i (Sense) RHS.
+type Constraint struct {
+	// Coeffs maps variable index to coefficient; absent entries are 0.
+	Coeffs map[int]float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a minimisation LP over NumVars non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal: an optimal solution was found.
+	Optimal Status = iota + 1
+	// Infeasible: no feasible point exists.
+	Infeasible
+	// Unbounded: the objective is unbounded below.
+	Unbounded
+	// IterLimit: the iteration cap was reached before convergence.
+	IterLimit
+)
+
+// String returns a human-readable status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// X holds the optimal variable values (length NumVars).
+	X []float64
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIterations caps total pivots; 0 means 50·(rows+cols)+1000.
+	MaxIterations int
+	// Tolerance is the numeric feasibility/optimality tolerance.
+	Tolerance float64
+}
+
+// ErrBadProblem reports a malformed problem.
+var ErrBadProblem = errors.New("lp: invalid problem")
+
+const defaultTolerance = 1e-9
+
+// Solve runs two-phase primal simplex on p.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = defaultTolerance
+	}
+
+	t := newTableau(p, opts)
+	if t.needPhase1 {
+		status := t.run(true)
+		if status != Optimal {
+			if status == IterLimit {
+				return &Solution{Status: IterLimit}, nil
+			}
+			return &Solution{Status: Infeasible}, nil
+		}
+		if t.phase1Objective() > 1e-6 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		t.dropArtificials()
+	}
+	status := t.run(false)
+	sol := &Solution{Status: status}
+	if status == Optimal {
+		sol.X = t.extract()
+		obj := 0.0
+		for i, c := range p.Objective {
+			obj += c * sol.X[i]
+		}
+		sol.Objective = obj
+	}
+	return sol, nil
+}
+
+func validate(p *Problem) error {
+	if p == nil || p.NumVars <= 0 {
+		return fmt.Errorf("%w: no variables", ErrBadProblem)
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("%w: objective length %d != %d vars", ErrBadProblem, len(p.Objective), p.NumVars)
+	}
+	for k, c := range p.Constraints {
+		if c.Sense != LE && c.Sense != EQ && c.Sense != GE {
+			return fmt.Errorf("%w: constraint %d has bad sense", ErrBadProblem, k)
+		}
+		for i := range c.Coeffs {
+			if i < 0 || i >= p.NumVars {
+				return fmt.Errorf("%w: constraint %d references variable %d", ErrBadProblem, k, i)
+			}
+		}
+	}
+	return nil
+}
+
+// tableau is a dense simplex tableau. Columns: structural vars, then slack
+// /surplus vars, then artificial vars; final column is the RHS.
+type tableau struct {
+	rows, cols     int // constraint rows, total variable columns
+	numStruct      int
+	numArtificial  int
+	firstArt       int
+	a              [][]float64 // rows x (cols+1); last column is RHS
+	costPhase2     []float64   // length cols
+	costPhase1     []float64
+	basis          []int
+	opts           Options
+	needPhase1     bool
+	phase1ObjValue float64
+}
+
+func newTableau(p *Problem, opts Options) *tableau {
+	m := len(p.Constraints)
+	// Count slack and artificial columns.
+	numSlack, numArt := 0, 0
+	for _, c := range p.Constraints {
+		rhs, sense := c.RHS, c.Sense
+		if rhs < 0 {
+			sense = flip(sense)
+		}
+		switch sense {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	cols := p.NumVars + numSlack + numArt
+	t := &tableau{
+		rows:          m,
+		cols:          cols,
+		numStruct:     p.NumVars,
+		numArtificial: numArt,
+		firstArt:      p.NumVars + numSlack,
+		a:             make([][]float64, m),
+		costPhase2:    make([]float64, cols),
+		costPhase1:    make([]float64, cols),
+		basis:         make([]int, m),
+		opts:          opts,
+		needPhase1:    numArt > 0,
+	}
+	copy(t.costPhase2, p.Objective)
+	for j := t.firstArt; j < cols; j++ {
+		t.costPhase1[j] = 1
+	}
+
+	slackCol := p.NumVars
+	artCol := t.firstArt
+	for r, c := range p.Constraints {
+		row := make([]float64, cols+1)
+		sign := 1.0
+		rhs, sense := c.RHS, c.Sense
+		if rhs < 0 {
+			sign, rhs, sense = -1, -rhs, flip(sense)
+		}
+		for i, v := range c.Coeffs {
+			row[i] += sign * v
+		}
+		row[cols] = rhs
+		switch sense {
+		case LE:
+			row[slackCol] = 1
+			t.basis[r] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[r] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[r] = artCol
+			artCol++
+		}
+		t.a[r] = row
+	}
+	return t
+}
+
+func flip(s Sense) Sense {
+	switch s {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// run performs simplex pivots until optimality for the selected phase.
+func (t *tableau) run(phase1 bool) Status {
+	cost := t.costPhase2
+	if phase1 {
+		cost = t.costPhase1
+	}
+	maxIter := t.opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = 50*(t.rows+t.cols) + 1000
+	}
+	// Reduced costs are computed directly: r_j = c_j − c_B·B⁻¹A_j, using
+	// the tableau rows (which already hold B⁻¹A).
+	for iter := 0; iter < maxIter; iter++ {
+		col := t.chooseColumn(cost, iter > maxIter/2)
+		if col < 0 {
+			if phase1 {
+				t.phase1ObjValue = t.objective(cost)
+			}
+			return Optimal
+		}
+		row := t.chooseRow(col)
+		if row < 0 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+	}
+	return IterLimit
+}
+
+// chooseColumn returns the entering column with the most negative reduced
+// cost (Dantzig), or the lowest-indexed negative one under Bland's rule,
+// or -1 at optimality.
+func (t *tableau) chooseColumn(cost []float64, bland bool) int {
+	tol := t.opts.Tolerance
+	best, bestVal := -1, -tol
+	for j := 0; j < t.cols; j++ {
+		r := cost[j]
+		for i, b := range t.basis {
+			if cb := cost[b]; cb != 0 {
+				r -= cb * t.a[i][j]
+			}
+		}
+		if r < bestVal {
+			if bland {
+				return j
+			}
+			best, bestVal = j, r
+		}
+	}
+	return best
+}
+
+// chooseRow runs the ratio test for the entering column, or -1 if the
+// column is unbounded.
+func (t *tableau) chooseRow(col int) int {
+	tol := t.opts.Tolerance
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.rows; i++ {
+		aij := t.a[i][col]
+		if aij <= tol {
+			continue
+		}
+		ratio := t.a[i][t.cols] / aij
+		if ratio < bestRatio-tol || (ratio < bestRatio+tol && (best < 0 || t.basis[i] < t.basis[best])) {
+			best, bestRatio = i, ratio
+		}
+	}
+	return best
+}
+
+func (t *tableau) pivot(row, col int) {
+	p := t.a[row][col]
+	arow := t.a[row]
+	inv := 1 / p
+	for j := range arow {
+		arow[j] *= inv
+	}
+	for i := 0; i < t.rows; i++ {
+		if i == row {
+			continue
+		}
+		factor := t.a[i][col]
+		if factor == 0 {
+			continue
+		}
+		ai := t.a[i]
+		for j := range ai {
+			ai[j] -= factor * arow[j]
+		}
+	}
+	t.basis[row] = col
+}
+
+func (t *tableau) objective(cost []float64) float64 {
+	obj := 0.0
+	for i, b := range t.basis {
+		obj += cost[b] * t.a[i][t.cols]
+	}
+	return obj
+}
+
+func (t *tableau) phase1Objective() float64 { return t.phase1ObjValue }
+
+// dropArtificials pivots basic artificial variables out where possible and
+// zeroes artificial columns so phase 2 cannot re-enter them.
+func (t *tableau) dropArtificials() {
+	for i, b := range t.basis {
+		if b < t.firstArt {
+			continue
+		}
+		// Degenerate basic artificial: pivot in any usable column.
+		for j := 0; j < t.firstArt; j++ {
+			if math.Abs(t.a[i][j]) > t.opts.Tolerance {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+	// Zero artificial columns: a zero column with zero cost has zero
+	// reduced cost and can never strictly improve, so phase 2 cannot
+	// bring artificials back.
+	for j := t.firstArt; j < t.cols; j++ {
+		t.costPhase2[j] = 0
+		for i := 0; i < t.rows; i++ {
+			t.a[i][j] = 0
+		}
+	}
+}
+
+func (t *tableau) extract() []float64 {
+	x := make([]float64, t.numStruct)
+	for i, b := range t.basis {
+		if b < t.numStruct {
+			x[b] = t.a[i][t.cols]
+			if x[b] < 0 && x[b] > -t.opts.Tolerance {
+				x[b] = 0
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,375 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestValidate(t *testing.T) {
+	if _, err := Solve(nil, Options{}); err == nil {
+		t.Error("nil problem: want error")
+	}
+	if _, err := Solve(&Problem{NumVars: 0}, Options{}); err == nil {
+		t.Error("zero vars: want error")
+	}
+	if _, err := Solve(&Problem{NumVars: 2, Objective: []float64{1}}, Options{}); err == nil {
+		t.Error("objective length mismatch: want error")
+	}
+	bad := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{5: 1}, Sense: LE, RHS: 1},
+		},
+	}
+	if _, err := Solve(bad, Options{}); err == nil {
+		t.Error("out-of-range variable: want error")
+	}
+	badSense := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1}, Sense: Sense(9), RHS: 1},
+		},
+	}
+	if _, err := Solve(badSense, Options{}); err == nil {
+		t.Error("bad sense: want error")
+	}
+}
+
+func TestSolveSimpleMaximisationAsMin(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic Dantzig):
+	// optimum (2, 6) value 36. Minimise the negation.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-3, -5},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1}, Sense: LE, RHS: 4},
+			{Coeffs: map[int]float64{1: 2}, Sense: LE, RHS: 12},
+			{Coeffs: map[int]float64{0: 3, 1: 2}, Sense: LE, RHS: 18},
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, -36) {
+		t.Errorf("objective = %g, want -36", sol.Objective)
+	}
+	if !approx(sol.X[0], 2) || !approx(sol.X[1], 6) {
+		t.Errorf("X = %v, want [2 6]", sol.X)
+	}
+}
+
+func TestSolveEqualityAndGE(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x >= 3, y >= 2 -> x=8, y=2, obj 12.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1, 1: 1}, Sense: EQ, RHS: 10},
+			{Coeffs: map[int]float64{0: 1}, Sense: GE, RHS: 3},
+			{Coeffs: map[int]float64{1: 1}, Sense: GE, RHS: 2},
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 12) {
+		t.Errorf("objective = %g, want 12", sol.Objective)
+	}
+	if !approx(sol.X[0], 8) || !approx(sol.X[1], 2) {
+		t.Errorf("X = %v, want [8 2]", sol.X)
+	}
+}
+
+func TestSolveNegativeRHSNormalised(t *testing.T) {
+	// -x - y <= -4 is x + y >= 4; min x + y -> 4.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: -1, 1: -1}, Sense: LE, RHS: -4},
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, 4) {
+		t.Errorf("got (%v, %g), want (optimal, 4)", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1}, Sense: LE, RHS: 1},
+			{Coeffs: map[int]float64{0: 1}, Sense: GE, RHS: 5},
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x with x unconstrained above.
+	p := &Problem{
+		NumVars:     1,
+		Objective:   []float64{-1},
+		Constraints: []Constraint{{Coeffs: map[int]float64{0: 1}, Sense: GE, RHS: 1}},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveDegenerateNoCycle(t *testing.T) {
+	// Beale's classic cycling example (cycles under pure Dantzig without
+	// anti-cycling); must terminate optimally at -1/20.
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 0.25, 1: -60, 2: -1.0 / 25, 3: 9}, Sense: LE, RHS: 0},
+			{Coeffs: map[int]float64{0: 0.5, 1: -90, 2: -1.0 / 50, 3: 3}, Sense: LE, RHS: 0},
+			{Coeffs: map[int]float64{2: 1}, Sense: LE, RHS: 1},
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !approx(sol.Objective, -0.05) {
+		t.Errorf("objective = %g, want -0.05", sol.Objective)
+	}
+}
+
+func TestSolveStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal:    "optimal",
+		Infeasible: "infeasible",
+		Unbounded:  "unbounded",
+		IterLimit:  "iteration-limit",
+		Status(42): "Status(42)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+// TestSolveMatchesBruteForceOnAssignment cross-checks the simplex against
+// exhaustive search on random small transportation problems, whose LP
+// optimum is integral at a vertex.
+func TestSolveMatchesBruteForceOnAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(3) // n x n assignment
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(1 + rng.Intn(9))
+			}
+		}
+		p := &Problem{NumVars: n * n, Objective: make([]float64, n*n)}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p.Objective[i*n+j] = cost[i][j]
+			}
+		}
+		for i := 0; i < n; i++ {
+			rowC := map[int]float64{}
+			colC := map[int]float64{}
+			for j := 0; j < n; j++ {
+				rowC[i*n+j] = 1
+				colC[j*n+i] = 1
+			}
+			p.Constraints = append(p.Constraints,
+				Constraint{Coeffs: rowC, Sense: EQ, RHS: 1},
+				Constraint{Coeffs: colC, Sense: EQ, RHS: 1},
+			)
+		}
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		want := bruteAssignment(cost)
+		if !approx(sol.Objective, want) {
+			t.Errorf("trial %d: LP = %g, brute force = %g", trial, sol.Objective, want)
+		}
+	}
+}
+
+func bruteAssignment(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			total := 0.0
+			for i, j := range perm {
+				total += cost[i][j]
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// Property: for random feasible LPs with a known feasible point, the
+// simplex objective is never worse than that point's objective.
+func TestSolveNeverWorseThanFeasiblePoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		// Random feasible point and constraints satisfied by it.
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.Float64() * 5
+		}
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for i := range p.Objective {
+			p.Objective[i] = rng.Float64()*4 - 1
+		}
+		for k := 0; k < m; k++ {
+			coeffs := map[int]float64{}
+			lhs := 0.0
+			for i := 0; i < n; i++ {
+				c := rng.Float64() * 3
+				coeffs[i] = c
+				lhs += c * x0[i]
+			}
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: coeffs,
+				Sense:  LE,
+				RHS:    lhs + rng.Float64(),
+			})
+		}
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			return false
+		}
+		if sol.Status == Unbounded {
+			return true // objective had negative entries; fine
+		}
+		if sol.Status != Optimal {
+			return false
+		}
+		obj0 := 0.0
+		for i, c := range p.Objective {
+			obj0 += c * x0[i]
+		}
+		return sol.Objective <= obj0+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveIterationLimit(t *testing.T) {
+	// A problem that needs several pivots with MaxIterations 1 must report
+	// IterLimit rather than looping or mis-reporting optimality.
+	p := &Problem{
+		NumVars:   3,
+		Objective: []float64{-1, -2, -3},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1, 1: 1, 2: 1}, Sense: LE, RHS: 10},
+			{Coeffs: map[int]float64{0: 2, 1: 1}, Sense: LE, RHS: 8},
+			{Coeffs: map[int]float64{1: 1, 2: 3}, Sense: LE, RHS: 15},
+		},
+	}
+	sol, err := Solve(p, Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterLimit {
+		t.Errorf("status = %v, want iteration-limit", sol.Status)
+	}
+}
+
+func TestSolveAllSensesTogether(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 4, x - y <= 2, y = 1 -> x = 3, obj 9.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1, 1: 1}, Sense: GE, RHS: 4},
+			{Coeffs: map[int]float64{0: 1, 1: -1}, Sense: LE, RHS: 2},
+			{Coeffs: map[int]float64{1: 1}, Sense: EQ, RHS: 1},
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, 9) {
+		t.Errorf("got (%v, %g), want (optimal, 9)", sol.Status, sol.Objective)
+	}
+	if !approx(sol.X[0], 3) || !approx(sol.X[1], 1) {
+		t.Errorf("X = %v, want [3 1]", sol.X)
+	}
+}
+
+func TestSolveZeroRHSDegenerate(t *testing.T) {
+	// Degenerate vertex at the origin: min x + y s.t. x - y <= 0, y <= 0
+	// -> optimum 0 at (0, 0).
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1, 1: -1}, Sense: LE},
+			{Coeffs: map[int]float64{1: 1}, Sense: LE},
+		},
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, 0) {
+		t.Errorf("got (%v, %g), want (optimal, 0)", sol.Status, sol.Objective)
+	}
+}

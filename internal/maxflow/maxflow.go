@@ -1,0 +1,141 @@
+// Package maxflow implements Edmonds–Karp maximum flow / minimum cut on
+// capacitated directed networks. The ILP solver (package ilp) uses it as
+// the separation oracle for the ConFL connectivity constraints: a
+// fractional facility y_i must be supported by z-capacity y_i across every
+// cut separating it from the producer, and a max-flow below y_i yields the
+// violated cut.
+package maxflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network is a directed flow network over nodes 0..n-1 built with AddArc.
+type Network struct {
+	n     int
+	arcs  []arc
+	first []int // head of adjacency list per node
+	next  []int // next arc index in the list
+}
+
+type arc struct {
+	to  int
+	cap float64
+}
+
+// New returns an empty network with n nodes.
+func New(n int) *Network {
+	first := make([]int, n)
+	for i := range first {
+		first[i] = -1
+	}
+	return &Network{n: n, first: first}
+}
+
+// NumNodes returns the node count.
+func (nw *Network) NumNodes() int { return nw.n }
+
+// AddArc adds a directed arc u→v with the given capacity (and its residual
+// reverse arc with capacity 0). Use AddEdge for undirected capacity.
+func (nw *Network) AddArc(u, v int, capacity float64) error {
+	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
+		return fmt.Errorf("maxflow: arc {%d,%d} out of range [0,%d)", u, v, nw.n)
+	}
+	if capacity < 0 {
+		return fmt.Errorf("maxflow: negative capacity %g", capacity)
+	}
+	nw.push(u, v, capacity)
+	nw.push(v, u, 0)
+	return nil
+}
+
+// AddEdge adds an undirected edge {u, v}: capacity in both directions.
+func (nw *Network) AddEdge(u, v int, capacity float64) error {
+	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
+		return fmt.Errorf("maxflow: edge {%d,%d} out of range [0,%d)", u, v, nw.n)
+	}
+	if capacity < 0 {
+		return fmt.Errorf("maxflow: negative capacity %g", capacity)
+	}
+	nw.push(u, v, capacity)
+	nw.push(v, u, capacity)
+	return nil
+}
+
+func (nw *Network) push(u, v int, capacity float64) {
+	nw.arcs = append(nw.arcs, arc{to: v, cap: capacity})
+	nw.next = append(nw.next, nw.first[u])
+	nw.first[u] = len(nw.arcs) - 1
+}
+
+// MaxFlow computes the maximum s→t flow (Edmonds–Karp) and the min-cut
+// side containing s. It returns the flow value and the source-side node
+// set. The network's residual capacities are consumed; build a fresh
+// Network per computation.
+func (nw *Network) MaxFlow(s, t int) (float64, []int, error) {
+	if s < 0 || s >= nw.n || t < 0 || t >= nw.n {
+		return 0, nil, fmt.Errorf("maxflow: terminals {%d,%d} out of range", s, t)
+	}
+	if s == t {
+		return 0, nil, fmt.Errorf("maxflow: source equals sink %d", s)
+	}
+	total := 0.0
+	parentArc := make([]int, nw.n)
+	for {
+		// BFS in the residual graph.
+		for i := range parentArc {
+			parentArc[i] = -1
+		}
+		queue := []int{s}
+		parentArc[s] = -2
+		for len(queue) > 0 && parentArc[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for ai := nw.first[u]; ai != -1; ai = nw.next[ai] {
+				a := nw.arcs[ai]
+				if a.cap > 1e-12 && parentArc[a.to] == -1 {
+					parentArc[a.to] = ai
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		if parentArc[t] == -1 {
+			break
+		}
+		// Bottleneck along the path.
+		bottleneck := math.Inf(1)
+		for v := t; v != s; {
+			ai := parentArc[v]
+			if c := nw.arcs[ai].cap; c < bottleneck {
+				bottleneck = c
+			}
+			v = nw.arcs[ai^1].to
+		}
+		for v := t; v != s; {
+			ai := parentArc[v]
+			nw.arcs[ai].cap -= bottleneck
+			nw.arcs[ai^1].cap += bottleneck
+			v = nw.arcs[ai^1].to
+		}
+		total += bottleneck
+	}
+	// Source side of the min cut: nodes reachable in the residual graph.
+	seen := make([]bool, nw.n)
+	seen[s] = true
+	queue := []int{s}
+	var side []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		side = append(side, u)
+		for ai := nw.first[u]; ai != -1; ai = nw.next[ai] {
+			a := nw.arcs[ai]
+			if a.cap > 1e-12 && !seen[a.to] {
+				seen[a.to] = true
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return total, side, nil
+}

@@ -1,0 +1,162 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidation(t *testing.T) {
+	nw := New(3)
+	if err := nw.AddArc(0, 5, 1); err == nil {
+		t.Error("out-of-range arc: want error")
+	}
+	if err := nw.AddArc(0, 1, -1); err == nil {
+		t.Error("negative capacity: want error")
+	}
+	if err := nw.AddEdge(-1, 0, 1); err == nil {
+		t.Error("out-of-range edge: want error")
+	}
+	if err := nw.AddEdge(0, 1, -2); err == nil {
+		t.Error("negative edge capacity: want error")
+	}
+	if _, _, err := nw.MaxFlow(0, 0); err == nil {
+		t.Error("s == t: want error")
+	}
+	if _, _, err := nw.MaxFlow(0, 9); err == nil {
+		t.Error("bad sink: want error")
+	}
+	if nw.NumNodes() != 3 {
+		t.Errorf("NumNodes() = %d", nw.NumNodes())
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS-style example: max flow 23.
+	nw := New(6)
+	arcs := []struct {
+		u, v int
+		c    float64
+	}{
+		{0, 1, 16}, {0, 2, 13}, {1, 2, 10}, {2, 1, 4},
+		{1, 3, 12}, {3, 2, 9}, {2, 4, 14}, {4, 3, 7},
+		{3, 5, 20}, {4, 5, 4},
+	}
+	for _, a := range arcs {
+		if err := nw.AddArc(a.u, a.v, a.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flow, side, err := nw.MaxFlow(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 23 {
+		t.Errorf("flow = %g, want 23", flow)
+	}
+	inSide := map[int]bool{}
+	for _, v := range side {
+		inSide[v] = true
+	}
+	if !inSide[0] || inSide[5] {
+		t.Errorf("cut side %v must contain source, not sink", side)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	nw := New(4)
+	if err := nw.AddArc(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	flow, side, err := nw.MaxFlow(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 0 {
+		t.Errorf("flow = %g, want 0", flow)
+	}
+	if len(side) != 2 { // 0 and 1 reachable
+		t.Errorf("cut side = %v, want {0,1}", side)
+	}
+}
+
+func TestUndirectedEdgeBothDirections(t *testing.T) {
+	nw := New(3)
+	if err := nw.AddEdge(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddEdge(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	flow, _, err := nw.MaxFlow(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 2 {
+		t.Errorf("flow = %g, want 2", flow)
+	}
+	// Reverse direction on a fresh network.
+	nw2 := New(3)
+	if err := nw2.AddEdge(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw2.AddEdge(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := nw2.MaxFlow(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != 2 {
+		t.Errorf("reverse flow = %g, want 2", back)
+	}
+}
+
+// Property: max flow equals the capacity across the returned min cut
+// (strong duality), on random networks.
+func TestFlowEqualsCutCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		type capArc struct {
+			u, v int
+			c    float64
+		}
+		var arcs []capArc
+		nw := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := float64(rng.Intn(10))
+			arcs = append(arcs, capArc{u, v, c})
+			if err := nw.AddArc(u, v, c); err != nil {
+				return false
+			}
+		}
+		s, t := 0, n-1
+		flow, side, err := nw.MaxFlow(s, t)
+		if err != nil {
+			return false
+		}
+		inSide := make([]bool, n)
+		for _, v := range side {
+			inSide[v] = true
+		}
+		if !inSide[s] || inSide[t] {
+			return false
+		}
+		cut := 0.0
+		for _, a := range arcs {
+			if inSide[a.u] && !inSide[a.v] {
+				cut += a.c
+			}
+		}
+		return math.Abs(cut-flow) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}

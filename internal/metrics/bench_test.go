@@ -1,0 +1,30 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+)
+
+func BenchmarkEvaluate8x8FiveChunks(b *testing.B) {
+	g := graph.NewGrid(8, 8)
+	holders := [][]int{{0, 20, 40}, {7, 27, 47}, {14, 34, 54}, {21, 41, 61}, {2, 22, 42}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(g, cache.NewState(64, 5), 9, holders, AccessCostNearest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGini1000(b *testing.B) {
+	counts := make([]int, 1000)
+	for i := range counts {
+		counts[i] = i % 7
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Gini(counts)
+	}
+}

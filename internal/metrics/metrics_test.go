@@ -1,0 +1,317 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+)
+
+func TestGiniKnownValues(t *testing.T) {
+	tests := []struct {
+		name   string
+		counts []int
+		want   float64
+	}{
+		{name: "empty", counts: nil, want: 0},
+		{name: "all zero", counts: []int{0, 0, 0}, want: 0},
+		{name: "perfectly even", counts: []int{3, 3, 3, 3}, want: 0},
+		{name: "one holds all of two nodes", counts: []int{10, 0}, want: 0.5},
+		{name: "one holds all of four nodes", counts: []int{8, 0, 0, 0}, want: 0.75},
+		{name: "linear ramp", counts: []int{1, 2, 3, 4}, want: 0.25},
+	}
+	for _, tt := range tests {
+		if got := Gini(tt.counts); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s: Gini(%v) = %g, want %g", tt.name, tt.counts, got, tt.want)
+		}
+	}
+}
+
+func TestGiniBoundsAndInvariance(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		counts := make([]int, len(raw))
+		for i, r := range raw {
+			counts[i] = int(r % 16)
+		}
+		g := Gini(counts)
+		if g < 0 || g >= 1 {
+			return false
+		}
+		// Permutation invariance.
+		shuffled := append([]int(nil), counts...)
+		rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		return math.Abs(Gini(shuffled)-g) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileFairness(t *testing.T) {
+	// 4 nodes, perfectly even: 75% of data needs 3 of 4 nodes = 0.75.
+	got, err := PercentileFairness([]int{2, 2, 2, 2}, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.75 {
+		t.Errorf("even 75-percentile = %g, want 0.75", got)
+	}
+	// One node holds everything: one node suffices for any percentile.
+	got, err = PercentileFairness([]int{0, 9, 0}, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("concentrated 75-percentile = %g, want 1/3", got)
+	}
+	// Mixed: counts 5,3,1,1 (total 10); 50% is covered by the top node
+	// alone (5 >= 5) -> 1/4; 60% needs the top two (5+3 >= 6) -> 2/4.
+	got, err = PercentileFairness([]int{1, 5, 1, 3}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.25 {
+		t.Errorf("mixed 50-percentile = %g, want 0.25", got)
+	}
+	got, err = PercentileFairness([]int{1, 5, 1, 3}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("mixed 60-percentile = %g, want 0.5", got)
+	}
+}
+
+func TestPercentileFairnessErrors(t *testing.T) {
+	if _, err := PercentileFairness([]int{1}, 0); err == nil {
+		t.Error("p=0: want error")
+	}
+	if _, err := PercentileFairness([]int{1}, 101); err == nil {
+		t.Error("p=101: want error")
+	}
+	if _, err := PercentileFairness(nil, 50); err == nil {
+		t.Error("empty counts: want error")
+	}
+	if _, err := PercentileFairness([]int{0, 0}, 50); err == nil {
+		t.Error("all-zero counts: want error")
+	}
+}
+
+func TestStorageCurve(t *testing.T) {
+	curve := StorageCurve([]int{1, 3, 0})
+	want := []float64{0.75, 1, 1}
+	for i := range want {
+		if math.Abs(curve[i]-want[i]) > 1e-12 {
+			t.Errorf("curve[%d] = %g, want %g", i, curve[i], want[i])
+		}
+	}
+	zero := StorageCurve([]int{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("all-zero curve = %v, want zeros", zero)
+	}
+}
+
+func TestStorageCurveMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		counts := make([]int, len(raw))
+		for i, r := range raw {
+			counts[i] = int(r % 8)
+		}
+		curve := StorageCurve(counts)
+		prev := 0.0
+		for _, v := range curve {
+			if v < prev-1e-12 || v > 1+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributionDiff(t *testing.T) {
+	diff, err := DistributionDiff([]int{3, 1, 0}, []int{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 0, -2}
+	for i := range want {
+		if diff[i] != want[i] {
+			t.Errorf("diff[%d] = %d, want %d", i, diff[i], want[i])
+		}
+	}
+	if _, err := DistributionDiff([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestEvaluateLineNetwork(t *testing.T) {
+	// Line 0-1-2, producer 0, chunk 0 to be held by node 2.
+	g := graph.New(3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	ev, err := EvaluateFresh(g, 5, 0, [][]int{{2}}, AccessCostNearest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dissemination happens on the empty network, weights [1, 2, 1]:
+	// tree {0,2} = edge 0-1 (1+2) + edge 1-2 (2+1) = 6.
+	if math.Abs(ev.PerChunk[0].Dissemination-6) > 1e-9 {
+		t.Errorf("Dissemination = %g, want 6", ev.PerChunk[0].Dissemination)
+	}
+	// Accessing under the final state, weights [1, 2, 2]:
+	// node 1 fetches from cheapest of {2, producer 0}: c(0,1)=3, c(2,1)=4 -> 3;
+	// node 2 holds the chunk: 0.
+	if math.Abs(ev.PerChunk[0].Access-3) > 1e-9 {
+		t.Errorf("Access = %g, want 3", ev.PerChunk[0].Access)
+	}
+	if math.Abs(ev.Total()-9) > 1e-9 {
+		t.Errorf("Total = %g, want 9", ev.Total())
+	}
+}
+
+func TestEvaluateChargesDisseminationIncrementally(t *testing.T) {
+	// Two chunks on the same holder: the second chunk disseminates
+	// through a network already loaded by the first, so it must cost
+	// strictly more.
+	g := graph.NewGrid(3, 3)
+	ev, err := EvaluateFresh(g, 5, 0, [][]int{{8}, {8}}, AccessCostNearest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := ev.PerChunk[0].Dissemination
+	second := ev.PerChunk[1].Dissemination
+	if second <= first {
+		t.Errorf("second dissemination %g <= first %g; want strictly more (holder loaded)", second, first)
+	}
+}
+
+func TestEvaluateNoHoldersChargesProducerOnly(t *testing.T) {
+	g := graph.NewGrid(2, 2)
+	ev, err := EvaluateFresh(g, 5, 0, [][]int{nil}, AccessCostNearest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Dissemination != 0 {
+		t.Errorf("Dissemination = %g, want 0 with no holders", ev.Dissemination)
+	}
+	if ev.Access <= 0 {
+		t.Errorf("Access = %g, want > 0 (all fetch from producer)", ev.Access)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	g := graph.NewGrid(2, 2)
+	st := cache.NewState(4, 5)
+	if _, err := Evaluate(g, cache.NewState(3, 5), 0, nil, AccessCostNearest); err == nil {
+		t.Error("state size mismatch: want error")
+	}
+	if _, err := Evaluate(g, st, 9, nil, AccessCostNearest); err == nil {
+		t.Error("bad producer: want error")
+	}
+}
+
+func TestEvaluateBaseStateNotMutated(t *testing.T) {
+	g := graph.NewGrid(4, 4)
+	base := cache.NewState(16, 5)
+	if _, err := Evaluate(g, base, 0, [][]int{{15}, {10}}, AccessCostNearest); err != nil {
+		t.Fatal(err)
+	}
+	if base.TotalStored() != 0 {
+		t.Errorf("Evaluate mutated the base state: %d chunks stored", base.TotalStored())
+	}
+}
+
+func TestEvaluateReplayOverCapacityFails(t *testing.T) {
+	// Holders that exceed the base state's capacity cannot be replayed.
+	g := graph.NewGrid(2, 2)
+	base := cache.NewState(4, 1)
+	if _, err := Evaluate(g, base, 0, [][]int{{1}, {1}}, AccessCostNearest); err == nil {
+		t.Error("want error when replaying beyond capacity")
+	}
+}
+
+func TestHoldersFromState(t *testing.T) {
+	st := cache.NewState(4, 5)
+	if err := st.Store(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Store(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Store(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	hs := HoldersFromState(st, 2)
+	if len(hs) != 2 || len(hs[0]) != 2 || hs[0][0] != 1 || hs[0][1] != 3 || len(hs[1]) != 1 || hs[1][0] != 2 {
+		t.Errorf("HoldersFromState = %v, want [[1 3] [2]]", hs)
+	}
+}
+
+func mustEdge(t *testing.T, g *graph.Graph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+func TestChunkEvalTotal(t *testing.T) {
+	ce := ChunkEval{Access: 3, Dissemination: 4}
+	if ce.Total() != 7 {
+		t.Errorf("Total = %g, want 7", ce.Total())
+	}
+}
+
+func TestEvaluateStrategies(t *testing.T) {
+	// Line 0-1-2-3, producer 0, chunk held by 3 (loaded) — under the
+	// final state, node 1 is 1 hop from producer and 2 hops from the
+	// holder; every strategy must route it to the producer. Node 2 is
+	// equidistant in hops: the hop strategy tie-breaks on true cost.
+	g := graph.New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	for _, strat := range []AccessStrategy{AccessHopNearest, AccessTopologyNearest, AccessCostNearest} {
+		ev, err := EvaluateFresh(g, 5, 0, [][]int{{3}}, strat)
+		if err != nil {
+			t.Fatalf("strategy %d: %v", strat, err)
+		}
+		if ev.Access <= 0 {
+			t.Errorf("strategy %d: access %g", strat, ev.Access)
+		}
+		if ev.AccessDelay <= 0 {
+			t.Errorf("strategy %d: delay %g", strat, ev.AccessDelay)
+		}
+	}
+	if _, err := EvaluateFresh(g, 5, 0, [][]int{{3}}, AccessStrategy(99)); err == nil {
+		t.Error("unknown strategy: want error")
+	}
+}
+
+func TestEvaluateDelayScalesWithContention(t *testing.T) {
+	// Loading the single holder raises both cost and estimated delay.
+	g := graph.NewGrid(3, 3)
+	light, err := EvaluateFresh(g, 5, 0, [][]int{{8}}, AccessCostNearest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := EvaluateFresh(g, 5, 0, [][]int{{8}, {8}, {8}}, AccessCostNearest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.PerChunk[0].AccessDelay <= light.PerChunk[0].AccessDelay {
+		t.Errorf("delay did not grow with load: %g vs %g",
+			heavy.PerChunk[0].AccessDelay, light.PerChunk[0].AccessDelay)
+	}
+}

@@ -1,0 +1,174 @@
+// Package online implements the paper's future-work direction (Sec. VI):
+// an online fair-caching system in which chunks are published over time,
+// stale chunks expire and are evicted (cache replacement), and each
+// arrival is placed by one iteration of the fair-caching approximation
+// algorithm against the *current* storage state. Because eviction lowers
+// the fairness degree cost of previously loaded nodes, storage is recycled
+// fairly over long horizons instead of filling up once and deadlocking.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Options configures the online system.
+type Options struct {
+	// Capacity is the per-node cache capacity in chunks.
+	Capacity int
+	// TTL is a chunk's lifetime measured in subsequent publications; a
+	// chunk published at time t expires before the publication at
+	// t + TTL. TTL <= 0 means chunks never expire.
+	TTL int
+	// Core tunes the per-arrival placement.
+	Core core.Options
+}
+
+// DefaultOptions matches the paper's evaluation parameters with a TTL of
+// one capacity-worth of publications.
+func DefaultOptions() Options {
+	return Options{
+		Capacity: 5,
+		TTL:      5,
+		Core:     core.DefaultOptions(),
+	}
+}
+
+// Publication records one online placement.
+type Publication struct {
+	// Chunk is the published chunk's id.
+	Chunk int
+	// Time is the publication index (1-based).
+	Time int
+	// CacheNodes lists the nodes now caching the chunk.
+	CacheNodes []int
+	// Expired lists chunk ids evicted before this placement.
+	Expired []int
+}
+
+// System is an online fair-caching instance over one topology.
+type System struct {
+	g        *graph.Graph
+	solver   *core.Solver
+	st       *cache.State
+	producer int
+	opts     Options
+
+	clock  int
+	nextID int
+	expiry map[int]int // chunk id -> expiry time
+	log    []Publication
+}
+
+// Errors returned by the online system.
+var ErrBadInput = errors.New("online: invalid input")
+
+// New builds an online system. The producer never caches.
+func New(g *graph.Graph, producer int, opts Options) (*System, error) {
+	if opts.Capacity <= 0 {
+		return nil, fmt.Errorf("%w: capacity %d", ErrBadInput, opts.Capacity)
+	}
+	solver, err := core.New(g, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	if producer < 0 || producer >= g.NumNodes() {
+		return nil, fmt.Errorf("%w: producer %d", ErrBadInput, producer)
+	}
+	return &System{
+		g:        g,
+		solver:   solver,
+		st:       cache.NewState(g.NumNodes(), opts.Capacity),
+		producer: producer,
+		opts:     opts,
+		expiry:   make(map[int]int),
+	}, nil
+}
+
+// SetTopology swaps the network topology (device mobility): subsequent
+// publications place against the new connectivity while cached chunks and
+// their expiry clocks carry over. The node set must stay the same size.
+func (s *System) SetTopology(g *graph.Graph) error {
+	if g.NumNodes() != s.g.NumNodes() {
+		return fmt.Errorf("%w: topology has %d nodes, system has %d", ErrBadInput, g.NumNodes(), s.g.NumNodes())
+	}
+	solver, err := core.New(g, s.opts.Core)
+	if err != nil {
+		return err
+	}
+	s.g = g
+	s.solver = solver
+	return nil
+}
+
+// Publish places the next chunk: expired chunks are evicted first, then
+// one fair-caching iteration runs against the refreshed state.
+func (s *System) Publish() (*Publication, error) {
+	s.clock++
+	pub := &Publication{
+		Chunk: s.nextID,
+		Time:  s.clock,
+	}
+	s.nextID++
+
+	// Cache replacement: evict chunks whose lifetime has passed.
+	if s.opts.TTL > 0 {
+		var stale []int
+		for id, exp := range s.expiry {
+			if exp <= s.clock {
+				stale = append(stale, id)
+			}
+		}
+		sort.Ints(stale)
+		for _, id := range stale {
+			for _, holder := range s.st.Holders(id) {
+				s.st.Evict(holder, id)
+			}
+			delete(s.expiry, id)
+		}
+		pub.Expired = stale
+	}
+
+	res, err := s.solver.PlaceOne(s.producer, pub.Chunk, s.st)
+	if err != nil {
+		return nil, fmt.Errorf("online: publish chunk %d: %w", pub.Chunk, err)
+	}
+	pub.CacheNodes = append([]int(nil), res.CacheNodes...)
+	if s.opts.TTL > 0 {
+		s.expiry[pub.Chunk] = s.clock + s.opts.TTL
+	}
+	s.log = append(s.log, *pub)
+	return pub, nil
+}
+
+// Holders returns the nodes currently caching the given chunk (empty once
+// it has expired).
+func (s *System) Holders(chunk int) []int { return s.st.Holders(chunk) }
+
+// Live returns the ids of chunks currently cached somewhere, sorted.
+func (s *System) Live() []int {
+	var out []int
+	for id := range s.expiry {
+		if len(s.st.Holders(id)) > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Counts returns the current per-node cached-chunk counts.
+func (s *System) Counts() []int { return s.st.Counts() }
+
+// Clock returns the number of publications so far.
+func (s *System) Clock() int { return s.clock }
+
+// Log returns a copy of the publication history.
+func (s *System) Log() []Publication {
+	return append([]Publication(nil), s.log...)
+}

@@ -1,0 +1,31 @@
+package steiner
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func BenchmarkMSTApproxGrid8x8(b *testing.B) {
+	g := graph.NewGrid(8, 8)
+	w := func(u, v int) float64 { return float64(g.Degree(u) + g.Degree(v)) }
+	terminals := []int{0, 7, 28, 56, 63}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MSTApprox(g, w, terminals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactCostGrid5x5SixTerminals(b *testing.B) {
+	g := graph.NewGrid(5, 5)
+	w := func(u, v int) float64 { return float64(g.Degree(u) + g.Degree(v)) }
+	terminals := []int{0, 4, 12, 20, 24, 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExactCost(g, w, terminals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package steiner
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// MaxExactTerminals bounds the Dreyfus–Wagner terminal count: the dynamic
+// program is O(3^k·N + 2^k·N²) and becomes impractical beyond this.
+const MaxExactTerminals = 14
+
+// ExactCost returns the optimal Steiner tree cost connecting terminals
+// under edge weights w, using the Dreyfus–Wagner dynamic program. It is
+// exponential in len(terminals) (capped at MaxExactTerminals) and is used
+// by the exact baseline on small instances.
+func ExactCost(g *graph.Graph, w graph.EdgeWeightFunc, terminals []int) (float64, error) {
+	ts := uniqueSorted(terminals)
+	if len(ts) <= 1 {
+		return 0, nil
+	}
+	if len(ts) > MaxExactTerminals {
+		return 0, fmt.Errorf("steiner: %d terminals exceeds exact limit %d", len(ts), MaxExactTerminals)
+	}
+	n := g.NumNodes()
+	for _, t := range ts {
+		if t < 0 || t >= n {
+			return 0, fmt.Errorf("steiner: terminal %d out of range [0,%d)", t, n)
+		}
+	}
+
+	// All-pairs shortest path distances under w (Dijkstra per node).
+	dist := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		dist[v], _ = g.Dijkstra(v, w)
+	}
+	for _, t := range ts[1:] {
+		if dist[ts[0]][t] == graph.Infinite {
+			return 0, fmt.Errorf("%w: %v", ErrDisconnected, ts)
+		}
+	}
+
+	// dp[S][v]: cost of the optimal tree spanning terminal subset S ∪ {v}.
+	// Terminals are indexed by position in ts; the last terminal is the
+	// root and excluded from subsets (standard trick halves the table).
+	k := len(ts) - 1
+	root := ts[k]
+	full := 1 << k
+	dp := make([][]float64, full)
+	for s := range dp {
+		dp[s] = make([]float64, n)
+		for v := range dp[s] {
+			dp[s][v] = graph.Infinite
+		}
+	}
+	for i := 0; i < k; i++ {
+		for v := 0; v < n; v++ {
+			dp[1<<i][v] = dist[ts[i]][v]
+		}
+	}
+
+	for s := 1; s < full; s++ {
+		if s&(s-1) == 0 {
+			continue // singletons already initialised
+		}
+		// Merge step: combine two disjoint sub-subsets at v.
+		for v := 0; v < n; v++ {
+			best := dp[s][v]
+			for sub := (s - 1) & s; sub > 0; sub = (sub - 1) & s {
+				if other := s ^ sub; sub < other {
+					// Each unordered pair once.
+					if c := dp[sub][v] + dp[other][v]; c < best {
+						best = c
+					}
+				}
+			}
+			dp[s][v] = best
+		}
+		// Relax step: move the junction along shortest paths. A full
+		// Dijkstra over the dp layer is equivalent to relaxing with the
+		// all-pairs closure; n is small here so the O(n²) closure is fine.
+		for v := 0; v < n; v++ {
+			best := dp[s][v]
+			for u := 0; u < n; u++ {
+				if dp[s][u] == graph.Infinite || dist[u][v] == graph.Infinite {
+					continue
+				}
+				if c := dp[s][u] + dist[u][v]; c < best {
+					best = c
+				}
+			}
+			dp[s][v] = best
+		}
+	}
+	return dp[full-1][root], nil
+}

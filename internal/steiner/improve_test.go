@@ -1,0 +1,106 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestImproveTrivial(t *testing.T) {
+	g := graph.NewGrid(3, 3)
+	if got := Improve(g, unitWeight, Tree{}, []int{0}); len(got.Edges) != 0 {
+		t.Errorf("empty tree improved to %+v", got)
+	}
+}
+
+func TestImproveFixesDetour(t *testing.T) {
+	// Square plus a long detour: 0-1 (1), 1-3 (1), 0-2 (10), 2-3 (10).
+	// A deliberately bad tree connects {0, 3} via the heavy path; the
+	// local search must swap to the light one.
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 3}, {0, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := func(u, v int) float64 {
+		if u > v {
+			u, v = v, u
+		}
+		if (u == 0 && v == 2) || (u == 2 && v == 3) {
+			return 10
+		}
+		return 1
+	}
+	bad := Tree{Edges: []graph.Edge{{U: 0, V: 2}, {U: 2, V: 3}}, Cost: 20}
+	improved := Improve(g, w, bad, []int{0, 3})
+	if improved.Cost != 2 {
+		t.Errorf("improved cost = %g, want 2", improved.Cost)
+	}
+	if !spansAsTree(improved, []int{0, 3}) {
+		t.Errorf("improved result is not a valid tree: %+v", improved)
+	}
+}
+
+// Property: Improve never increases cost, keeps feasibility, and stays at
+// or above the exact optimum on random instances.
+func TestImproveNeverWorsensAndStaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(12)
+		g := randomConnectedGraph(rng, n)
+		weights := randomEdgeWeights(g, rng)
+		w := func(u, v int) float64 { return weights[graph.Edge{U: u, V: v}.Canonical()] }
+		k := 2 + rng.Intn(4)
+		if k > n {
+			k = n
+		}
+		terms := rng.Perm(n)[:k]
+
+		base, err := MSTApprox(g, w, terms)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		improved := Improve(g, w, base, terms)
+		if improved.Cost > base.Cost+1e-9 {
+			t.Errorf("trial %d: Improve raised cost %g -> %g", trial, base.Cost, improved.Cost)
+		}
+		if !spansAsTree(improved, terms) {
+			t.Errorf("trial %d: improved tree infeasible", trial)
+		}
+		opt, err := ExactCost(g, w, terms)
+		if err != nil {
+			t.Fatalf("trial %d exact: %v", trial, err)
+		}
+		if improved.Cost < opt-1e-9 {
+			t.Errorf("trial %d: improved cost %g below optimum %g", trial, improved.Cost, opt)
+		}
+	}
+}
+
+// TestImproveHelpsOnAverage verifies the local search actually finds
+// improvements on a meaningful fraction of weighted instances (otherwise
+// it would be dead code).
+func TestImproveHelpsOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	improvedCount, trials := 0, 60
+	for trial := 0; trial < trials; trial++ {
+		n := 9 + rng.Intn(12)
+		g := randomConnectedGraph(rng, n)
+		weights := randomEdgeWeights(g, rng)
+		w := func(u, v int) float64 { return weights[graph.Edge{U: u, V: v}.Canonical()] }
+		terms := rng.Perm(n)[:4]
+		base, err := MSTApprox(g, w, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Improve(g, w, base, terms); got.Cost < base.Cost-1e-9 {
+			improvedCount++
+		}
+	}
+	if improvedCount == 0 {
+		t.Error("local search never improved any instance")
+	}
+	t.Logf("local search improved %d/%d instances", improvedCount, trials)
+}

@@ -1,0 +1,221 @@
+// Package steiner builds Steiner trees over the network graph. Phase 2 of
+// the paper's Algorithm 1 connects the chosen caching nodes (the ADMIN set)
+// and the producer with a Steiner tree whose edges are charged the
+// contention-scaled edge cost c_e.
+//
+// Two constructions are provided:
+//
+//   - MSTApprox: the classic metric-closure MST 2-approximation (polynomial,
+//     used inside the approximation algorithm; the paper cites the 1.55-ratio
+//     algorithm of Robins–Zelikovsky [25], which refines the same MST
+//     skeleton — the skeleton is what matters for the evaluation's shape).
+//   - ExactCost: the Dreyfus–Wagner dynamic program, exponential in the
+//     number of terminals, used by the exact ("Brtf") baseline on small
+//     instances.
+package steiner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ErrDisconnected reports terminals that cannot be connected in the graph.
+var ErrDisconnected = errors.New("steiner: terminals not connected")
+
+// Tree is a Steiner tree: the set of graph edges used and their total cost.
+type Tree struct {
+	Edges []graph.Edge
+	Cost  float64
+}
+
+// Nodes returns the sorted set of nodes spanned by the tree.
+func (t Tree) Nodes() []int {
+	set := make(map[int]struct{}, 2*len(t.Edges))
+	for _, e := range t.Edges {
+		set[e.U] = struct{}{}
+		set[e.V] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MSTApprox returns a Steiner tree connecting terminals using the
+// metric-closure MST 2-approximation:
+//
+//  1. compute shortest paths between terminals under w,
+//  2. build the MST of the terminal metric closure,
+//  3. expand MST edges into their underlying paths,
+//  4. take the MST of the resulting subgraph and prune non-terminal leaves.
+//
+// Zero or one terminal yields an empty tree with cost 0.
+func MSTApprox(g *graph.Graph, w graph.EdgeWeightFunc, terminals []int) (Tree, error) {
+	ts := uniqueSorted(terminals)
+	if len(ts) <= 1 {
+		return Tree{}, nil
+	}
+	for _, t := range ts {
+		if t < 0 || t >= g.NumNodes() {
+			return Tree{}, fmt.Errorf("steiner: terminal %d out of range [0,%d)", t, g.NumNodes())
+		}
+	}
+
+	// Shortest paths from every terminal.
+	dist := make(map[int][]float64, len(ts))
+	pred := make(map[int][]int, len(ts))
+	for _, t := range ts {
+		d, p := g.Dijkstra(t, w)
+		dist[t], pred[t] = d, p
+	}
+
+	// Prim's MST over the terminal metric closure.
+	inTree := map[int]bool{ts[0]: true}
+	type closureEdge struct{ from, to int }
+	var mst []closureEdge
+	for len(inTree) < len(ts) {
+		bestFrom, bestTo := -1, -1
+		bestD := graph.Infinite
+		for from := range inTree {
+			for _, to := range ts {
+				if inTree[to] {
+					continue
+				}
+				if d := dist[from][to]; d < bestD {
+					bestD, bestFrom, bestTo = d, from, to
+				}
+			}
+		}
+		if bestTo == -1 {
+			return Tree{}, fmt.Errorf("%w: %v", ErrDisconnected, ts)
+		}
+		mst = append(mst, closureEdge{from: bestFrom, to: bestTo})
+		inTree[bestTo] = true
+	}
+
+	// Expand closure edges into graph edges.
+	edgeSet := make(map[graph.Edge]struct{})
+	for _, ce := range mst {
+		path := graph.PathTo(pred[ce.from], ce.from, ce.to)
+		for i := 1; i < len(path); i++ {
+			edgeSet[graph.Edge{U: path[i-1], V: path[i]}.Canonical()] = struct{}{}
+		}
+	}
+
+	// MST of the expanded subgraph (drops any cycles from overlapping
+	// paths), then prune non-terminal leaves.
+	edges := make([]graph.Edge, 0, len(edgeSet))
+	for e := range edgeSet {
+		edges = append(edges, e)
+	}
+	edges = subgraphMST(edges, w)
+	edges = pruneLeaves(edges, ts)
+
+	cost := 0.0
+	for _, e := range edges {
+		cost += w(e.U, e.V)
+	}
+	return Tree{Edges: edges, Cost: cost}, nil
+}
+
+// subgraphMST returns the minimum spanning forest of the given edge set
+// (Kruskal with union-find).
+func subgraphMST(edges []graph.Edge, w graph.EdgeWeightFunc) []graph.Edge {
+	sorted := append([]graph.Edge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool {
+		wi, wj := w(sorted[i].U, sorted[i].V), w(sorted[j].U, sorted[j].V)
+		if wi != wj {
+			return wi < wj
+		}
+		if sorted[i].U != sorted[j].U {
+			return sorted[i].U < sorted[j].U
+		}
+		return sorted[i].V < sorted[j].V
+	})
+	uf := newUnionFind()
+	var out []graph.Edge
+	for _, e := range sorted {
+		if uf.union(e.U, e.V) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// pruneLeaves repeatedly removes degree-1 nodes that are not terminals.
+func pruneLeaves(edges []graph.Edge, terminals []int) []graph.Edge {
+	isTerminal := make(map[int]bool, len(terminals))
+	for _, t := range terminals {
+		isTerminal[t] = true
+	}
+	for {
+		deg := make(map[int]int)
+		for _, e := range edges {
+			deg[e.U]++
+			deg[e.V]++
+		}
+		var kept []graph.Edge
+		removed := false
+		for _, e := range edges {
+			if (deg[e.U] == 1 && !isTerminal[e.U]) || (deg[e.V] == 1 && !isTerminal[e.V]) {
+				removed = true
+				continue
+			}
+			kept = append(kept, e)
+		}
+		edges = kept
+		if !removed {
+			return edges
+		}
+	}
+}
+
+type unionFind struct {
+	parent map[int]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[int]int)}
+}
+
+func (u *unionFind) find(x int) int {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p != x {
+		r := u.find(p)
+		u.parent[x] = r
+		return r
+	}
+	return x
+}
+
+// union merges the sets of a and b, reporting whether they were distinct.
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[ra] = rb
+	return true
+}
+
+func uniqueSorted(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	j := 0
+	for i, x := range out {
+		if i == 0 || x != out[j-1] {
+			out[j] = x
+			j++
+		}
+	}
+	return out[:j]
+}

@@ -1,0 +1,107 @@
+package faircache
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/online"
+)
+
+// Publication records one online chunk placement.
+type Publication struct {
+	// Chunk is the published chunk's id (assigned sequentially).
+	Chunk int
+	// Time is the publication index, starting at 1.
+	Time int
+	// CacheNodes lists the nodes now caching the chunk.
+	CacheNodes []int
+	// Expired lists chunk ids whose lifetime ended before this
+	// publication (their copies were evicted — cache replacement).
+	Expired []int
+}
+
+// OnlineSystem is the online variant of the fair-caching algorithm (the
+// paper's future-work direction, Sec. VI): chunks are published over
+// time, stale chunks expire and are evicted, and each arrival is placed by
+// one fair-caching iteration against the live storage state. Storage is
+// recycled fairly over unbounded horizons.
+type OnlineSystem struct {
+	sys  *online.System
+	topo *Topology
+}
+
+// NewOnline builds an online system on a topology. Options.Capacity sets
+// per-node storage and Options.ChunkTTL the chunk lifetime (in subsequent
+// publications; 0 keeps the default of one capacity-worth, negative means
+// chunks never expire).
+func NewOnline(t *Topology, producer int, opts *Options) (*OnlineSystem, error) {
+	o := opts.withDefaults()
+	onlineOpts := online.Options{
+		Capacity: o.Capacity,
+		TTL:      o.Capacity, // default: one capacity-worth of arrivals
+		Core:     core.DefaultOptions(),
+	}
+	if opts != nil && opts.ChunkTTL != 0 {
+		onlineOpts.TTL = opts.ChunkTTL
+		if opts.ChunkTTL < 0 {
+			onlineOpts.TTL = 0 // never expire
+		}
+	}
+	onlineOpts.Core.FairnessWeight = o.FairnessWeight
+	onlineOpts.Core.BatteryWeight = o.BatteryWeight
+	if o.AlphaStep > 0 {
+		onlineOpts.Core.ConFL.AlphaStep = o.AlphaStep
+	}
+	if o.GammaStep > 0 {
+		onlineOpts.Core.ConFL.GammaStep = o.GammaStep
+	}
+	if o.SpanQuorum > 0 {
+		onlineOpts.Core.ConFL.SpanQuorum = o.SpanQuorum
+	}
+	sys, err := online.New(t.g, producer, onlineOpts)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	return &OnlineSystem{sys: sys, topo: t}, nil
+}
+
+// Publish places the next chunk, evicting expired ones first.
+func (o *OnlineSystem) Publish() (*Publication, error) {
+	pub, err := o.sys.Publish()
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	return &Publication{
+		Chunk:      pub.Chunk,
+		Time:       pub.Time,
+		CacheNodes: pub.CacheNodes,
+		Expired:    pub.Expired,
+	}, nil
+}
+
+// Holders returns the nodes currently caching the given chunk.
+func (o *OnlineSystem) Holders(chunk int) []int { return o.sys.Holders(chunk) }
+
+// Live returns the ids of chunks currently cached somewhere.
+func (o *OnlineSystem) Live() []int { return o.sys.Live() }
+
+// Counts returns the current per-node cached-chunk counts.
+func (o *OnlineSystem) Counts() []int { return o.sys.Counts() }
+
+// Gini returns the Gini coefficient of the current caching load.
+func (o *OnlineSystem) Gini() float64 { return metrics.Gini(o.sys.Counts()) }
+
+// Clock returns the number of publications so far.
+func (o *OnlineSystem) Clock() int { return o.sys.Clock() }
+
+// SetTopology swaps the network topology (device mobility): subsequent
+// publications place against the new connectivity while cached chunks and
+// their expiry clocks carry over. The node count must stay the same.
+func (o *OnlineSystem) SetTopology(t *Topology) error {
+	if err := o.sys.SetTopology(t.g); err != nil {
+		return fmt.Errorf("faircache: %w", err)
+	}
+	o.topo = t
+	return nil
+}

@@ -1,0 +1,67 @@
+package faircache_test
+
+import (
+	"math"
+	"testing"
+
+	faircache "repro"
+)
+
+// TestHeadlineRegression pins the reproduced headline numbers of the 6×6
+// scenario (README / EXPERIMENTS.md) within loose tolerances, guarding the
+// calibration against accidental drift. The placement algorithms are
+// deterministic, so exact equality would also hold — the tolerances leave
+// room for intentional re-tuning without masking sign flips.
+func TestHeadlineRegression(t *testing.T) {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type expect struct {
+		run        func() (*faircache.Result, error)
+		gini       float64 // ± 0.15
+		fairness75 float64 // ± 0.15
+		total      float64 // ± 25%
+	}
+	cases := map[string]expect{
+		"Appx": {
+			run:  func() (*faircache.Result, error) { return faircache.Approximate(topo, 9, 5, nil) },
+			gini: 0.30, fairness75: 0.58, total: 2618,
+		},
+		"Dist": {
+			run:  func() (*faircache.Result, error) { return faircache.Distribute(topo, 9, 5, nil) },
+			gini: 0.40, fairness75: 0.50, total: 2515,
+		},
+		"Hopc": {
+			run:  func() (*faircache.Result, error) { return faircache.HopCountBaseline(topo, 9, 5, nil) },
+			gini: 0.97, fairness75: 0.03, total: 3605,
+		},
+		"Cont": {
+			run:  func() (*faircache.Result, error) { return faircache.ContentionBaseline(topo, 9, 5, nil) },
+			gini: 0.72, fairness75: 0.22, total: 3695,
+		},
+	}
+	for name, want := range cases {
+		res, err := want.run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := res.Gini(); math.Abs(got-want.gini) > 0.15 {
+			t.Errorf("%s gini = %.3f, expected %.3f ± 0.15", name, got, want.gini)
+		}
+		pf, err := res.PercentileFairness(75)
+		if err != nil {
+			t.Fatalf("%s percentile: %v", name, err)
+		}
+		if math.Abs(pf-want.fairness75) > 0.15 {
+			t.Errorf("%s fairness75 = %.3f, expected %.3f ± 0.15", name, pf, want.fairness75)
+		}
+		cost, err := res.ContentionCost()
+		if err != nil {
+			t.Fatalf("%s cost: %v", name, err)
+		}
+		if got := cost.Total(); got < 0.75*want.total || got > 1.25*want.total {
+			t.Errorf("%s total cost = %.0f, expected %.0f ± 25%%", name, got, want.total)
+		}
+	}
+}
