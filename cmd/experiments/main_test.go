@@ -1,0 +1,67 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureRun executes run(fig, quick) with stdout captured.
+func captureRun(t *testing.T, fig string, quick bool) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	outCh := make(chan string, 1)
+	go func() {
+		buf, _ := io.ReadAll(r)
+		outCh <- string(buf)
+	}()
+	runErr := run(fig, quick)
+	w.Close()
+	os.Stdout = old
+	out := <-outCh
+	if runErr != nil {
+		t.Fatalf("run(%q, quick=%v): %v", fig, quick, runErr)
+	}
+	return out
+}
+
+// TestFigureBuildersSmoke runs a representative set of the figure
+// builders in -quick mode (tiny topologies, reduced budgets) and asserts
+// each emits a non-empty markdown table under its header.
+func TestFigureBuildersSmoke(t *testing.T) {
+	cases := map[string]string{
+		"3":    "Fig. 3",
+		"6":    "Fig. 6",
+		"tab2": "TABLE II",
+		"abl":  "Ablations",
+	}
+	for fig, wantHeader := range cases {
+		out := captureRun(t, fig, true)
+		if !strings.Contains(out, wantHeader) {
+			t.Errorf("fig %s: output missing header %q:\n%s", fig, wantHeader, out)
+		}
+		dataRows := 0
+		for _, line := range strings.Split(out, "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "|") && !strings.HasPrefix(trimmed, "| ---") {
+				dataRows++
+			}
+		}
+		// Header row plus at least one data row.
+		if dataRows < 2 {
+			t.Errorf("fig %s: no table rows in output:\n%s", fig, out)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("nope", true); err == nil {
+		t.Fatal("run with unknown figure should fail")
+	}
+}

@@ -1,0 +1,147 @@
+// Command faircached is the fair-caching placement daemon: it serves the
+// internal/server placement service over HTTP/JSON. Topologies are
+// registered, solved, published to and queried over the /v1 API; health
+// and expvar counters live on /healthz and /debug/vars.
+//
+// Examples:
+//
+//	faircached                          # serve on :8080
+//	faircached -addr 127.0.0.1:9090    # explicit bind address
+//	faircached -load                    # self-driving load-test mode:
+//	                                    # registers a grid, hammers it,
+//	                                    # prints throughput, exits
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests drain (up to -drain-timeout), then every
+// topology worker is stopped.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/loadgen"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		solveTimeout = flag.Duration("solve-timeout", 30*time.Second, "server-side cap on one solve request")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
+		maxNodes     = flag.Int("max-nodes", 4096, "largest registrable topology")
+		load         = flag.Bool("load", false, "self-driving load mode: register a grid, run the load generator, print stats, exit")
+		loadGrid     = flag.String("load-grid", "6x6", "grid for -load mode, ROWSxCOLS")
+		loadRequests = flag.Int("load-requests", 500, "total operations in -load mode")
+		loadWorkers  = flag.Int("load-workers", 4, "concurrent clients in -load mode")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *solveTimeout, *drainTimeout, *maxNodes, *load, *loadGrid, *loadRequests, *loadWorkers); err != nil {
+		fmt.Fprintln(os.Stderr, "faircached:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, solveTimeout, drainTimeout time.Duration, maxNodes int, load bool, loadGrid string, loadRequests, loadWorkers int) error {
+	svc := server.New(server.Options{SolveTimeout: solveTimeout, MaxNodes: maxNodes})
+	httpSrv := &http.Server{Handler: svc}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("faircached: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	var loadErr error
+	if load {
+		loadErr = runLoad(ctx, "http://"+ln.Addr().String(), loadGrid, loadRequests, loadWorkers)
+		stop() // load run finished (or failed): begin shutdown
+	}
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("faircached: shutting down, draining in-flight requests")
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "faircached: drain:", err)
+	}
+	svc.Close()
+	fmt.Println("faircached: shutdown complete")
+	return loadErr
+}
+
+// runLoad self-drives the daemon: register a grid topology against the
+// live socket, run the load generator, and print throughput plus the
+// service counters the run produced.
+func runLoad(ctx context.Context, baseURL, grid string, requests, workers int) error {
+	rows, cols, err := parseGrid(grid)
+	if err != nil {
+		return err
+	}
+	body, _ := json.Marshal(server.RegisterRequest{Kind: "grid", Rows: rows, Cols: cols})
+	resp, err := http.Post(baseURL+"/v1/topologies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("load register: %w", err)
+	}
+	defer resp.Body.Close()
+	var reg server.RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil || reg.ID == "" {
+		return fmt.Errorf("load register: status %d (%v)", resp.StatusCode, err)
+	}
+	fmt.Printf("faircached: load mode: %d ops over %dx%d grid %s with %d workers\n",
+		requests, rows, cols, reg.ID, workers)
+
+	stats, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:    baseURL,
+		TopologyID: reg.ID,
+		Requests:   requests,
+		Workers:    workers,
+	})
+	if err != nil {
+		return fmt.Errorf("load run: %w", err)
+	}
+	fmt.Printf("faircached: load done: %d ops in %v (%.0f ops/s) — %d lookups, %d publishes, %d reports, %d errors\n",
+		stats.Total(), stats.Elapsed.Round(time.Millisecond), stats.Throughput(),
+		stats.Lookups, stats.Publishes, stats.Reports, stats.Errors)
+	return nil
+}
+
+func parseGrid(spec string) (rows, cols int, err error) {
+	parts := strings.SplitN(strings.ToLower(spec), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad grid spec %q, want ROWSxCOLS", spec)
+	}
+	rows, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad grid rows %q", parts[0])
+	}
+	cols, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad grid cols %q", parts[1])
+	}
+	return rows, cols, nil
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// buildDaemon compiles the faircached binary into a temp dir once per
+// test run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "faircached")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary on an ephemeral port and returns the
+// base URL parsed from its "listening on" banner.
+func startDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, *bufio.Scanner, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	scanner := bufio.NewScanner(stdout)
+	deadline := time.Now().Add(10 * time.Second)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if addr, ok := strings.CutPrefix(line, "faircached: listening on "); ok {
+			return cmd, scanner, "http://" + strings.TrimSpace(addr)
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	_ = cmd.Process.Kill()
+	t.Fatalf("daemon never printed its listen banner (scan err: %v)", scanner.Err())
+	return nil, nil, ""
+}
+
+// TestEndToEnd starts the daemon, serves /healthz, registers a 4x4 grid,
+// solves it, answers a lookup, and shuts down gracefully on SIGINT.
+func TestEndToEnd(t *testing.T) {
+	bin := buildDaemon(t)
+	cmd, scanner, baseURL := startDaemon(t, bin)
+	defer func() { _ = cmd.Process.Kill() }()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Health.
+	resp, err := client.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil || health.Status != "ok" {
+		t.Fatalf("healthz: status %q err %v", health.Status, err)
+	}
+	resp.Body.Close()
+
+	// Register a 4x4 grid.
+	producer := 5
+	body, _ := json.Marshal(server.RegisterRequest{Kind: "grid", Rows: 4, Cols: 4, Producer: &producer})
+	resp, err = client.Post(baseURL+"/v1/topologies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	var reg server.RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatalf("register decode: %v", err)
+	}
+	resp.Body.Close()
+	if reg.Nodes != 16 || reg.ID == "" {
+		t.Fatalf("register response %+v", reg)
+	}
+
+	// Solve it.
+	body, _ = json.Marshal(server.SolveRequest{Algorithm: "appx", Chunks: 3})
+	resp, err = client.Post(baseURL+"/v1/topologies/"+reg.ID+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	var solve server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&solve); err != nil {
+		t.Fatalf("solve decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(solve.Holders) != 3 || solve.TotalCost <= 0 {
+		t.Fatalf("solve response %+v", solve)
+	}
+
+	// Answer a lookup from the committed placement.
+	resp, err = client.Get(fmt.Sprintf("%s/v1/topologies/%s/lookup?chunk=1&node=15", baseURL, reg.ID))
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	var lk server.LookupResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lk); err != nil {
+		t.Fatalf("lookup decode: %v", err)
+	}
+	resp.Body.Close()
+	if lk.ServedBy < 0 || lk.ServedBy >= 16 || lk.Hops < 0 {
+		t.Fatalf("lookup response %+v", lk)
+	}
+	if !lk.FromProducer {
+		found := false
+		for _, h := range solve.Holders[1] {
+			if h == lk.ServedBy {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("lookup served by %d, not in holders %v", lk.ServedBy, solve.Holders[1])
+		}
+	}
+
+	// Graceful SIGINT shutdown.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("SIGINT: %v", err)
+	}
+	sawComplete := false
+	for scanner.Scan() {
+		if strings.Contains(scanner.Text(), "shutdown complete") {
+			sawComplete = true
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited non-zero after SIGINT: %v", err)
+	}
+	if !sawComplete {
+		t.Fatal("daemon never reported graceful shutdown")
+	}
+}
+
+// TestLoadMode runs the self-driving load mode end to end: the daemon
+// registers its own grid, drives traffic, prints throughput and exits 0.
+func TestLoadMode(t *testing.T) {
+	bin := buildDaemon(t)
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-load", "-load-grid", "4x4", "-load-requests", "60", "-load-workers", "2")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("load mode: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"load mode:", "load done:", "ops/s", "shutdown complete"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("load-mode output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	rows, cols, err := parseGrid("4x6")
+	if err != nil || rows != 4 || cols != 6 {
+		t.Fatalf("parseGrid(4x6) = %d,%d,%v", rows, cols, err)
+	}
+	for _, bad := range []string{"", "4", "x", "ax2", "2xb"} {
+		if _, _, err := parseGrid(bad); err == nil {
+			t.Errorf("parseGrid(%q) should fail", bad)
+		}
+	}
+}

@@ -147,6 +147,16 @@ func (t *Topology) Neighbors(v int) []int {
 // others — a natural producer choice on random topologies.
 func (t *Topology) CentralNode() int { return graph.CentralNode(t.g) }
 
+// HopDistances returns the BFS hop distance from src to every node
+// (0 for src itself). It is the routing metric a placement service needs
+// to answer "which holder is nearest to this requester".
+func (t *Topology) HopDistances(src int) ([]int, error) {
+	if src < 0 || src >= t.g.NumNodes() {
+		return nil, fmt.Errorf("%w: node %d out of range [0,%d)", ErrBadArgument, src, t.g.NumNodes())
+	}
+	return t.g.HopDistances(src), nil
+}
+
 // Options tunes the placement algorithms. The zero value means "paper
 // defaults" for every field.
 type Options struct {
@@ -187,9 +197,23 @@ type Options struct {
 	// BatteryWeight scales the battery Fairness Degree Cost in the
 	// weighted summation with the storage term (default 0: disabled).
 	BatteryWeight float64
-	// ChunkTTL is the online system's chunk lifetime in publications
-	// (0 = one capacity-worth; negative = never expire). Used only by
-	// NewOnline.
+	// ChunkTTL is the online system's chunk lifetime, measured in
+	// subsequent publications: a chunk published at time t expires before
+	// the publication at t + ChunkTTL. Used only by NewOnline.
+	//
+	// The value maps onto the internal online TTL as follows:
+	//
+	//	ChunkTTL = 0   default: one capacity-worth of publications
+	//	               (a chunk lives for Capacity arrivals)
+	//	ChunkTTL > 0   exactly that many publications; ChunkTTL = 1 means
+	//	               a chunk is evicted at the very next publication
+	//	ChunkTTL < 0   chunks never expire (internally encoded as TTL = 0,
+	//	               the online package's "no expiry" sentinel)
+	//
+	// Note the inversion: the *public* zero value asks for the default,
+	// while the *internal* zero value means "never expire" — NewOnline
+	// performs the translation so callers only ever see the public
+	// semantics above.
 	ChunkTTL int
 	// GreedyConFL switches the centralized algorithm's per-chunk solver
 	// to the guarantee-free greedy heuristic (related work [23]) — an

@@ -61,7 +61,8 @@ type System struct {
 
 	clock  int
 	nextID int
-	expiry map[int]int // chunk id -> expiry time
+	expiry map[int]int      // chunk id -> expiry time
+	live   map[int]struct{} // chunk ids placed and not yet expired
 	log    []Publication
 }
 
@@ -87,6 +88,7 @@ func New(g *graph.Graph, producer int, opts Options) (*System, error) {
 		producer: producer,
 		opts:     opts,
 		expiry:   make(map[int]int),
+		live:     make(map[int]struct{}),
 	}, nil
 }
 
@@ -130,6 +132,7 @@ func (s *System) Publish() (*Publication, error) {
 				s.st.Evict(holder, id)
 			}
 			delete(s.expiry, id)
+			delete(s.live, id)
 		}
 		pub.Expired = stale
 	}
@@ -139,6 +142,7 @@ func (s *System) Publish() (*Publication, error) {
 		return nil, fmt.Errorf("online: publish chunk %d: %w", pub.Chunk, err)
 	}
 	pub.CacheNodes = append([]int(nil), res.CacheNodes...)
+	s.live[pub.Chunk] = struct{}{}
 	if s.opts.TTL > 0 {
 		s.expiry[pub.Chunk] = s.clock + s.opts.TTL
 	}
@@ -151,9 +155,11 @@ func (s *System) Publish() (*Publication, error) {
 func (s *System) Holders(chunk int) []int { return s.st.Holders(chunk) }
 
 // Live returns the ids of chunks currently cached somewhere, sorted.
+// Unlike the expiry bookkeeping, this works for TTL <= 0 (never expire)
+// as well: liveness is tracked per placement, not derived from timers.
 func (s *System) Live() []int {
 	var out []int
-	for id := range s.expiry {
+	for id := range s.live {
 		if len(s.st.Holders(id)) > 0 {
 			out = append(out, id)
 		}
@@ -167,6 +173,10 @@ func (s *System) Counts() []int { return s.st.Counts() }
 
 // Clock returns the number of publications so far.
 func (s *System) Clock() int { return s.clock }
+
+// Published returns the total number of chunk ids ever assigned; ids in
+// [0, Published()) are known even when their copies have since expired.
+func (s *System) Published() int { return s.nextID }
 
 // Log returns a copy of the publication history.
 func (s *System) Log() []Publication {

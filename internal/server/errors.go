@@ -1,0 +1,76 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	faircache "repro"
+)
+
+// Error is the typed JSON error every endpoint returns on failure. The
+// wire form is {"error": {"code": ..., "message": ...}} with the HTTP
+// status matching Status.
+type Error struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes used by the service.
+const (
+	CodeBadRequest = "bad_request" // malformed body, unknown field values, range errors
+	CodeNotFound   = "not_found"   // unknown topology id, unknown chunk, bad route
+	CodeGone       = "gone"        // topology deleted while the request was in flight
+	CodeTimeout    = "timeout"     // request context expired before the mutation committed
+	CodeShutdown   = "shutting_down"
+	CodeInternal   = "internal"
+)
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+func badRequestf(format string, args ...any) *Error {
+	return &Error{Status: http.StatusBadRequest, Code: CodeBadRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+func notFoundf(format string, args ...any) *Error {
+	return &Error{Status: http.StatusNotFound, Code: CodeNotFound, Message: fmt.Sprintf(format, args...)}
+}
+
+func timeoutf(format string, args ...any) *Error {
+	return &Error{Status: http.StatusGatewayTimeout, Code: CodeTimeout, Message: fmt.Sprintf(format, args...)}
+}
+
+func gonef(format string, args ...any) *Error {
+	return &Error{Status: http.StatusGone, Code: CodeGone, Message: fmt.Sprintf(format, args...)}
+}
+
+// asError normalises any error into a typed *Error, mapping the public
+// library's argument errors to bad_request instead of internal.
+func asError(err error) *Error {
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	if errors.Is(err, faircache.ErrBadArgument) || errors.Is(err, faircache.ErrNotConnected) {
+		return badRequestf("%v", err)
+	}
+	return &Error{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	e := asError(err)
+	stats().Add("errors", 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error *Error `json:"error"`
+	}{e})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

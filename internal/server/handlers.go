@@ -1,0 +1,635 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	faircache "repro"
+
+	"repro/internal/metrics"
+)
+
+// maxBodyBytes bounds every request body read by the service.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON strictly decodes a request body into v, returning a typed
+// bad_request error on malformed input, unknown fields or trailing data.
+func decodeJSON(r *http.Request, v any) *Error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequestf("invalid JSON body: %v", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return badRequestf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// RegisterRequest is the body of POST /v1/topologies.
+type RegisterRequest struct {
+	// Kind selects the generator: grid, random, clustered, line, ring or
+	// links.
+	Kind string `json:"kind"`
+	// Rows and Cols size a grid.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Nodes sizes random, line, ring and links topologies.
+	Nodes int `json:"nodes,omitempty"`
+	// Seed seeds random and clustered generation.
+	Seed int64 `json:"seed,omitempty"`
+	// Clusters and Size shape a clustered (crowd) topology.
+	Clusters int `json:"clusters,omitempty"`
+	Size     int `json:"size,omitempty"`
+	// Links is the explicit edge list for kind "links".
+	Links [][2]int `json:"links,omitempty"`
+	// Producer is the producer node; omitted selects the central node.
+	Producer *int `json:"producer,omitempty"`
+	// Capacity is the per-node cache capacity (default 5).
+	Capacity int `json:"capacity,omitempty"`
+	// ChunkTTL is the online chunk lifetime with faircache.Options
+	// semantics: 0 default, >0 publications, <0 never expire.
+	ChunkTTL int `json:"chunkTTL,omitempty"`
+	// FairnessWeight scales the Fairness Degree Cost of online
+	// placements (0 = paper default).
+	FairnessWeight float64 `json:"fairnessWeight,omitempty"`
+}
+
+// RegisterResponse is the body of a successful registration.
+type RegisterResponse struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Nodes    int    `json:"nodes"`
+	Links    int    `json:"links"`
+	Producer int    `json:"producer"`
+	Capacity int    `json:"capacity"`
+	Version  int    `json:"version"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	topo, kind, err := buildTopology(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if topo.NumNodes() > s.opts.MaxNodes {
+		writeError(w, badRequestf("topology has %d nodes, limit is %d", topo.NumNodes(), s.opts.MaxNodes))
+		return
+	}
+	producer := topo.CentralNode()
+	if req.Producer != nil {
+		producer = *req.Producer
+	}
+	if producer < 0 || producer >= topo.NumNodes() {
+		writeError(w, badRequestf("producer %d out of range [0,%d)", producer, topo.NumNodes()))
+		return
+	}
+	capacity := req.Capacity
+	if capacity == 0 {
+		capacity = 5
+	}
+	if capacity < 0 {
+		writeError(w, badRequestf("negative capacity %d", capacity))
+		return
+	}
+	online, oerr := faircache.NewOnline(topo, producer, &faircache.Options{
+		Capacity:       capacity,
+		ChunkTTL:       req.ChunkTTL,
+		FairnessWeight: req.FairnessWeight,
+	})
+	if oerr != nil {
+		writeError(w, oerr)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, &Error{Status: http.StatusServiceUnavailable, Code: CodeShutdown, Message: "server is shutting down"})
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("t%d", s.nextID)
+	tp := newTopology(id, kind, topo, producer, capacity, online)
+	s.topos[id] = tp
+	s.mu.Unlock()
+
+	stats().Add("registrations", 1)
+	writeJSON(w, http.StatusCreated, RegisterResponse{
+		ID:       id,
+		Kind:     kind,
+		Nodes:    topo.NumNodes(),
+		Links:    topo.NumLinks(),
+		Producer: producer,
+		Capacity: capacity,
+		Version:  tp.snap.Load().Version,
+	})
+}
+
+func buildTopology(req *RegisterRequest) (*faircache.Topology, string, error) {
+	kind := strings.ToLower(strings.TrimSpace(req.Kind))
+	switch kind {
+	case "grid":
+		t, err := faircache.Grid(req.Rows, req.Cols)
+		return t, kind, err
+	case "random":
+		t, err := faircache.Random(req.Nodes, req.Seed)
+		return t, kind, err
+	case "clustered":
+		t, err := faircache.Clustered(req.Clusters, req.Size, req.Seed)
+		return t, kind, err
+	case "line":
+		t, err := faircache.Line(req.Nodes)
+		return t, kind, err
+	case "ring":
+		t, err := faircache.Ring(req.Nodes)
+		return t, kind, err
+	case "links":
+		t, err := faircache.FromLinks(req.Nodes, req.Links)
+		return t, kind, err
+	default:
+		return nil, "", badRequestf("unknown topology kind %q (want grid, random, clustered, line, ring or links)", req.Kind)
+	}
+}
+
+// TopologyInfo is one row of GET /v1/topologies.
+type TopologyInfo struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Nodes    int    `json:"nodes"`
+	Links    int    `json:"links"`
+	Producer int    `json:"producer"`
+	Version  int    `json:"version"`
+	Chunks   int    `json:"chunks"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	infos := []TopologyInfo{}
+	for _, id := range s.ids() {
+		tp, err := s.lookupTopology(id)
+		if err != nil {
+			continue // deleted between ids() and here
+		}
+		snap := tp.snap.Load()
+		infos = append(infos, TopologyInfo{
+			ID:       tp.id,
+			Kind:     tp.kind,
+			Nodes:    tp.topo.NumNodes(),
+			Links:    tp.topo.NumLinks(),
+			Producer: tp.producer,
+			Version:  snap.Version,
+			Chunks:   snap.Chunks,
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Topologies []TopologyInfo `json:"topologies"`
+	}{infos})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	tp, ok := s.topos[id]
+	if ok {
+		delete(s.topos, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, notFoundf("unknown topology %q", id))
+		return
+	}
+	tp.stop()
+	writeJSON(w, http.StatusOK, struct {
+		ID      string `json:"id"`
+		Deleted bool   `json:"deleted"`
+	}{id, true})
+}
+
+// SolveOptions is the JSON projection of faircache.Options accepted by
+// solve requests.
+type SolveOptions struct {
+	Capacity       int     `json:"capacity,omitempty"`
+	Capacities     []int   `json:"capacities,omitempty"`
+	AlphaStep      float64 `json:"alphaStep,omitempty"`
+	GammaStep      float64 `json:"gammaStep,omitempty"`
+	SpanQuorum     int     `json:"spanQuorum,omitempty"`
+	FairnessWeight float64 `json:"fairnessWeight,omitempty"`
+	HopLimit       int     `json:"hopLimit,omitempty"`
+	Lambda         float64 `json:"lambda,omitempty"`
+	SearchBudget   int     `json:"searchBudget,omitempty"`
+	SearchWidth    int     `json:"searchWidth,omitempty"`
+	GreedyConFL    bool    `json:"greedyConFL,omitempty"`
+	ImproveSteiner bool    `json:"improveSteiner,omitempty"`
+}
+
+func (o *SolveOptions) toOptions(capacity int) *faircache.Options {
+	out := &faircache.Options{Capacity: capacity}
+	if o == nil {
+		return out
+	}
+	if o.Capacity > 0 {
+		out.Capacity = o.Capacity
+	}
+	out.Capacities = o.Capacities
+	out.AlphaStep = o.AlphaStep
+	out.GammaStep = o.GammaStep
+	out.SpanQuorum = o.SpanQuorum
+	out.FairnessWeight = o.FairnessWeight
+	out.HopLimit = o.HopLimit
+	out.Lambda = o.Lambda
+	out.SearchBudget = o.SearchBudget
+	out.SearchWidth = o.SearchWidth
+	out.GreedyConFL = o.GreedyConFL
+	out.ImproveSteiner = o.ImproveSteiner
+	return out
+}
+
+// SolveRequest is the body of POST /v1/topologies/{id}/solve.
+type SolveRequest struct {
+	// Algorithm is appx, dist, hopc, cont or brtf (the paper's five).
+	Algorithm string `json:"algorithm"`
+	// Chunks is the number of distinct chunks to place (default 5).
+	Chunks int `json:"chunks,omitempty"`
+	// TimeoutMs shortens the server's solve timeout for this request.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// Options tunes the algorithm; zero values mean paper defaults.
+	Options *SolveOptions `json:"options,omitempty"`
+}
+
+// SolveResponse reports a committed one-shot placement.
+type SolveResponse struct {
+	Version           int            `json:"version"`
+	Algorithm         string         `json:"algorithm"`
+	Chunks            int            `json:"chunks"`
+	Holders           [][]int        `json:"holders"`
+	Counts            []int          `json:"counts"`
+	Copies            int            `json:"copies"`
+	DistinctCaches    int            `json:"distinctCaches"`
+	Gini              float64        `json:"gini"`
+	AccessCost        float64        `json:"accessCost"`
+	DisseminationCost float64        `json:"disseminationCost"`
+	TotalCost         float64        `json:"totalCost"`
+	ElapsedMs         float64        `json:"elapsedMs"`
+	ProvenOptimal     bool           `json:"provenOptimal,omitempty"`
+	Messages          map[string]int `json:"messages,omitempty"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	tp, terr := s.lookupTopology(r.PathValue("id"))
+	if terr != nil {
+		writeError(w, terr)
+		return
+	}
+	var req SolveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Chunks == 0 {
+		req.Chunks = 5
+	}
+	if req.Chunks < 1 {
+		writeError(w, badRequestf("chunks must be >= 1, got %d", req.Chunks))
+		return
+	}
+	solver, _, aerr := solverFor(req.Algorithm)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	timeout := s.opts.SolveTimeout
+	if req.TimeoutMs > 0 && time.Duration(req.TimeoutMs)*time.Millisecond < timeout {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	v, err := tp.do(ctx, func() (any, error) {
+		start := time.Now()
+		res, err := solver(tp.topo, tp.producer, req.Chunks, req.Options.toOptions(tp.capacity))
+		if err != nil {
+			return nil, err
+		}
+		// A solve that finished after the deadline must not commit: the
+		// client has already been answered with a timeout.
+		if ctx.Err() != nil {
+			return nil, timeoutf("solve finished after the request deadline; result discarded")
+		}
+		cost, err := res.ContentionCost()
+		if err != nil {
+			return nil, err
+		}
+		prev := tp.snap.Load()
+		holders := make(map[int][]int, len(res.Holders))
+		for chunk, nodes := range res.Holders {
+			holders[chunk] = append([]int(nil), nodes...)
+		}
+		snap := tp.commit(&Snapshot{
+			Source:       "solve:" + string(res.Algorithm),
+			Chunks:       req.Chunks,
+			Holders:      holders,
+			Counts:       append([]int(nil), res.Counts...),
+			Clock:        prev.Clock,
+			Solves:       prev.Solves + 1,
+			Publications: prev.Publications,
+		})
+		stats().Add("solves", 1)
+		return &SolveResponse{
+			Version:           snap.Version,
+			Algorithm:         string(res.Algorithm),
+			Chunks:            req.Chunks,
+			Holders:           res.Holders,
+			Counts:            res.Counts,
+			Copies:            res.TotalCopies(),
+			DistinctCaches:    res.DistinctCacheNodes(),
+			Gini:              res.Gini(),
+			AccessCost:        cost.Access,
+			DisseminationCost: cost.Dissemination,
+			TotalCost:         cost.Total(),
+			ElapsedMs:         float64(time.Since(start).Microseconds()) / 1000,
+			ProvenOptimal:     res.ProvenOptimal,
+			Messages:          res.Messages,
+		}, nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+type solveFunc func(*faircache.Topology, int, int, *faircache.Options) (*faircache.Result, error)
+
+func solverFor(name string) (solveFunc, string, *Error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "appx", "approximate", "":
+		return faircache.Approximate, "appx", nil
+	case "dist", "distribute", "distributed":
+		return faircache.Distribute, "dist", nil
+	case "hopc", "hopcount":
+		return faircache.HopCountBaseline, "hopc", nil
+	case "cont", "contention":
+		return faircache.ContentionBaseline, "cont", nil
+	case "brtf", "optimal", "exact":
+		return faircache.Optimal, "brtf", nil
+	default:
+		return nil, "", badRequestf("unknown algorithm %q (want appx, dist, hopc, cont or brtf)", name)
+	}
+}
+
+// PublishRequest is the body of POST /v1/topologies/{id}/publish. An
+// empty body publishes one chunk.
+type PublishRequest struct {
+	// Count is the number of chunks to publish in one serialized batch
+	// (default 1).
+	Count int `json:"count,omitempty"`
+}
+
+// PublicationInfo reports one online arrival.
+type PublicationInfo struct {
+	Chunk      int   `json:"chunk"`
+	Time       int   `json:"time"`
+	CacheNodes []int `json:"cacheNodes"`
+	Expired    []int `json:"expired,omitempty"`
+}
+
+// PublishResponse reports the committed state after the batch. Holders is
+// the complete live-chunk map of the new snapshot, so clients can verify
+// lookups against exactly this committed state.
+type PublishResponse struct {
+	Version      int               `json:"version"`
+	Clock        int               `json:"clock"`
+	Published    int               `json:"published"`
+	Publications []PublicationInfo `json:"publications"`
+	Holders      map[int][]int     `json:"holders"`
+	Counts       []int             `json:"counts"`
+	Gini         float64           `json:"gini"`
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	tp, terr := s.lookupTopology(r.PathValue("id"))
+	if terr != nil {
+		writeError(w, terr)
+		return
+	}
+	req := PublishRequest{Count: 1}
+	if r.ContentLength != 0 {
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		if req.Count == 0 {
+			req.Count = 1
+		}
+	}
+	if req.Count < 1 || req.Count > s.opts.MaxPublishBatch {
+		writeError(w, badRequestf("count must be in [1,%d], got %d", s.opts.MaxPublishBatch, req.Count))
+		return
+	}
+
+	v, err := tp.do(r.Context(), func() (any, error) {
+		pubs := make([]PublicationInfo, 0, req.Count)
+		for i := 0; i < req.Count; i++ {
+			pub, err := tp.online.Publish()
+			if err != nil {
+				return nil, err
+			}
+			stats().Add("publications", 1)
+			stats().Add("evictions", int64(len(pub.Expired)))
+			pubs = append(pubs, PublicationInfo{
+				Chunk:      pub.Chunk,
+				Time:       pub.Time,
+				CacheNodes: pub.CacheNodes,
+				Expired:    pub.Expired,
+			})
+		}
+		os := tp.online.Snapshot()
+		prev := tp.snap.Load()
+		snap := tp.commit(&Snapshot{
+			Source:       "publish",
+			Chunks:       os.Published,
+			Holders:      os.Holders,
+			Counts:       os.Counts,
+			Clock:        os.Clock,
+			Solves:       prev.Solves,
+			Publications: prev.Publications + len(pubs),
+		})
+		return &PublishResponse{
+			Version:      snap.Version,
+			Clock:        snap.Clock,
+			Published:    snap.Chunks,
+			Publications: pubs,
+			Holders:      snap.Holders,
+			Counts:       snap.Counts,
+			Gini:         metrics.Gini(snap.Counts),
+		}, nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// LookupResponse answers "which node serves chunk n to requester j"
+// against one committed snapshot.
+type LookupResponse struct {
+	Version      int   `json:"version"`
+	Chunk        int   `json:"chunk"`
+	Node         int   `json:"node"`
+	ServedBy     int   `json:"servedBy"`
+	Hops         int   `json:"hops"`
+	FromProducer bool  `json:"fromProducer"`
+	Holders      []int `json:"holders"`
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	tp, terr := s.lookupTopology(r.PathValue("id"))
+	if terr != nil {
+		writeError(w, terr)
+		return
+	}
+	chunk, err := queryInt(r, "chunk")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	node, err := queryInt(r, "node")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if node < 0 || node >= tp.topo.NumNodes() {
+		writeError(w, badRequestf("node %d out of range [0,%d)", node, tp.topo.NumNodes()))
+		return
+	}
+	snap := tp.snap.Load()
+	if chunk < 0 || chunk >= snap.Chunks {
+		writeError(w, notFoundf("chunk %d unknown: snapshot v%d knows chunks [0,%d)", chunk, snap.Version, snap.Chunks))
+		return
+	}
+	dist, derr := tp.topo.HopDistances(node)
+	if derr != nil {
+		writeError(w, derr)
+		return
+	}
+	holders := snap.Holders[chunk]
+	served, hops, fromProducer := nearestServer(dist, holders, snap.Producer)
+	stats().Add("lookups", 1)
+	writeJSON(w, http.StatusOK, LookupResponse{
+		Version:      snap.Version,
+		Chunk:        chunk,
+		Node:         node,
+		ServedBy:     served,
+		Hops:         hops,
+		FromProducer: fromProducer,
+		Holders:      holders,
+	})
+}
+
+// nearestServer picks the minimum-hop server for a requester with hop
+// distances dist: the nearest holder, or the producer when it is
+// strictly closer (ties favor offloading the producer; among holders the
+// lowest node id wins so answers are deterministic).
+func nearestServer(dist, holders []int, producer int) (served, hops int, fromProducer bool) {
+	served, hops, fromProducer = producer, dist[producer], true
+	for _, h := range holders {
+		if dist[h] < hops || (dist[h] == hops && fromProducer) {
+			served, hops, fromProducer = h, dist[h], false
+		}
+	}
+	return served, hops, fromProducer
+}
+
+func queryInt(r *http.Request, key string) (int, *Error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, badRequestf("missing required query parameter %q", key)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequestf("query parameter %q: %v", key, err)
+	}
+	return v, nil
+}
+
+// ReportResponse is the body of GET /v1/topologies/{id}/report: the full
+// committed snapshot plus the paper's fairness metrics.
+type ReportResponse struct {
+	ID             string    `json:"id"`
+	Kind           string    `json:"kind"`
+	Nodes          int       `json:"nodes"`
+	Links          int       `json:"links"`
+	Capacity       int       `json:"capacity"`
+	Snapshot       *Snapshot `json:"snapshot"`
+	LiveChunks     int       `json:"liveChunks"`
+	Copies         int       `json:"copies"`
+	DistinctCaches int       `json:"distinctCaches"`
+	Gini           float64   `json:"gini"`
+	Fairness75     float64   `json:"fairness75"`
+	StorageCurve   []float64 `json:"storageCurve"`
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	tp, terr := s.lookupTopology(r.PathValue("id"))
+	if terr != nil {
+		writeError(w, terr)
+		return
+	}
+	snap := tp.snap.Load()
+	copies, distinct := 0, 0
+	for _, c := range snap.Counts {
+		copies += c
+		if c > 0 {
+			distinct++
+		}
+	}
+	fairness75 := 0.0
+	if pf, err := metrics.PercentileFairness(snap.Counts, 75); err == nil {
+		fairness75 = pf
+	}
+	stats().Add("reports", 1)
+	writeJSON(w, http.StatusOK, ReportResponse{
+		ID:             tp.id,
+		Kind:           tp.kind,
+		Nodes:          tp.topo.NumNodes(),
+		Links:          tp.topo.NumLinks(),
+		Capacity:       tp.capacity,
+		Snapshot:       snap,
+		LiveChunks:     len(snap.Holders),
+		Copies:         copies,
+		DistinctCaches: distinct,
+		Gini:           metrics.Gini(snap.Counts),
+		Fairness75:     fairness75,
+		StorageCurve:   metrics.StorageCurve(snap.Counts),
+	})
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status     string `json:"status"`
+	Topologies int    `json:"topologies"`
+	UptimeMs   int64  `json:"uptimeMs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	n := len(s.topos)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:     "ok",
+		Topologies: n,
+		UptimeMs:   time.Since(s.start).Milliseconds(),
+	})
+}

@@ -1,0 +1,228 @@
+// Package loadgen is a small in-repo load generator for the faircached
+// placement service. It drives a mixed read/write workload — mostly
+// placement lookups, with periodic online publications and fairness
+// reports — against one registered topology, and reports throughput.
+// The daemon's -load mode and the throughput smoke tests use it.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes one load run. BaseURL and TopologyID are required.
+type Config struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// TopologyID is the registered topology to drive.
+	TopologyID string
+	// Workers is the number of concurrent clients (default 4).
+	Workers int
+	// Requests is the total operation count across workers (default 200).
+	Requests int
+	// PublishEvery makes every n-th operation an online publication
+	// (default 10); every 25th is a fairness report, the rest are
+	// lookups.
+	PublishEvery int
+	// Client overrides the HTTP client (default: 5s timeout).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 200
+	}
+	if c.PublishEvery <= 0 {
+		c.PublishEvery = 10
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return c
+}
+
+// Stats is the outcome of one load run.
+type Stats struct {
+	Lookups   int64
+	Publishes int64
+	Reports   int64
+	Errors    int64
+	Elapsed   time.Duration
+}
+
+// Total returns the number of operations that completed successfully.
+func (s *Stats) Total() int64 { return s.Lookups + s.Publishes + s.Reports }
+
+// Throughput returns successful operations per second.
+func (s *Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Total()) / s.Elapsed.Seconds()
+}
+
+// report is the subset of the service's report response the generator
+// needs to shape the workload.
+type report struct {
+	Nodes    int `json:"nodes"`
+	Snapshot struct {
+		Chunks int `json:"chunks"`
+	} `json:"snapshot"`
+}
+
+// Run drives the workload and returns aggregate stats. The first
+// operation is always a publication so lookups have a known chunk to
+// target. Run stops early (without error) when ctx is cancelled.
+func Run(ctx context.Context, cfg Config) (*Stats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" || cfg.TopologyID == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL and TopologyID are required")
+	}
+	base := cfg.BaseURL + "/v1/topologies/" + cfg.TopologyID
+
+	var rep report
+	if err := getJSON(ctx, cfg.Client, base+"/report", &rep); err != nil {
+		return nil, fmt.Errorf("loadgen: initial report: %w", err)
+	}
+	nodes := rep.Nodes
+	if nodes == 0 {
+		return nil, fmt.Errorf("loadgen: topology %s has no nodes", cfg.TopologyID)
+	}
+
+	var (
+		stats Stats
+		known atomic.Int64 // published chunk ids, updated from publish responses
+		next  atomic.Int64 // operation index dispenser
+	)
+	known.Store(int64(rep.Snapshot.Chunks))
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					return
+				}
+				switch {
+				case i == 0 || i%cfg.PublishEvery == 0:
+					var pub struct {
+						Published int `json:"published"`
+					}
+					if err := postJSON(ctx, cfg.Client, base+"/publish", nil, &pub); err != nil {
+						atomic.AddInt64(&stats.Errors, 1)
+						continue
+					}
+					if int64(pub.Published) > known.Load() {
+						known.Store(int64(pub.Published))
+					}
+					atomic.AddInt64(&stats.Publishes, 1)
+				case i%25 == 0:
+					if err := getJSON(ctx, cfg.Client, base+"/report", &struct{}{}); err != nil {
+						atomic.AddInt64(&stats.Errors, 1)
+						continue
+					}
+					atomic.AddInt64(&stats.Reports, 1)
+				default:
+					k := known.Load()
+					if k == 0 {
+						k = 1 // chunk 0 may 404 until the first publish lands; tolerated below
+					}
+					chunk := i % int(k)
+					node := (i * 13) % nodes
+					url := fmt.Sprintf("%s/lookup?chunk=%d&node=%d", base, chunk, node)
+					status, err := get(ctx, cfg.Client, url)
+					if err != nil || (status != http.StatusOK && status != http.StatusNotFound) {
+						atomic.AddInt64(&stats.Errors, 1)
+						continue
+					}
+					atomic.AddInt64(&stats.Lookups, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	return &stats, nil
+}
+
+func get(ctx context.Context, client *http.Client, url string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	var rd io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if out != nil {
+		return json.Unmarshal(body, out)
+	}
+	return nil
+}

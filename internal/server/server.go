@@ -1,0 +1,164 @@
+// Package server implements faircached, a concurrent placement service
+// wrapping the faircache engine. It owns a registry of named topologies;
+// each registered topology gets a single-writer worker goroutine that
+// serializes mutations (one-shot solves, online publications with TTL
+// expiry) while read endpoints — placement lookups, fairness reports,
+// storage curves — are served concurrently from an atomically swapped
+// immutable snapshot of the last committed state.
+//
+// Endpoints:
+//
+//	POST   /v1/topologies              register grid/random/clustered/line/ring/links
+//	GET    /v1/topologies              list registered topologies
+//	DELETE /v1/topologies/{id}         unregister and stop the worker
+//	POST   /v1/topologies/{id}/solve   one-shot placement (appx/dist/hopc/cont/brtf)
+//	POST   /v1/topologies/{id}/publish online chunk arrival(s)
+//	GET    /v1/topologies/{id}/lookup  which node serves chunk n to requester j
+//	GET    /v1/topologies/{id}/report  snapshot + fairness metrics + storage curve
+//	GET    /healthz                    liveness
+//	GET    /debug/vars                 expvar counters and latency sums
+//
+// Every error is a typed JSON object {"error":{"code","message"}} with a
+// matching HTTP status.
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures a Server. The zero value is ready for production
+// defaults.
+type Options struct {
+	// SolveTimeout caps the server-side duration of one solve request
+	// (default 30s). A request's own timeoutMs can only shorten it.
+	SolveTimeout time.Duration
+	// MaxNodes caps registered topology sizes (default 4096).
+	MaxNodes int
+	// MaxPublishBatch caps the count of one publish request (default 64).
+	MaxPublishBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SolveTimeout <= 0 {
+		o.SolveTimeout = 30 * time.Second
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 4096
+	}
+	if o.MaxPublishBatch <= 0 {
+		o.MaxPublishBatch = 64
+	}
+	return o
+}
+
+// Server is the placement service. It implements http.Handler; wrap it in
+// an http.Server to expose it on a socket. Close stops every topology
+// worker; call it after http.Server.Shutdown has drained in-flight
+// requests.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	start time.Time
+
+	mu     sync.RWMutex
+	topos  map[string]*topology
+	nextID int
+	closed bool
+}
+
+// New returns a ready-to-serve placement service.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:  opts.withDefaults(),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		topos: make(map[string]*topology),
+	}
+	s.mux.HandleFunc("GET /healthz", instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /debug/vars", instrument("debug_vars", expvar.Handler().ServeHTTP))
+	s.mux.HandleFunc("POST /v1/topologies", instrument("register", s.handleRegister))
+	s.mux.HandleFunc("GET /v1/topologies", instrument("list", s.handleList))
+	s.mux.HandleFunc("DELETE /v1/topologies/{id}", instrument("delete", s.handleDelete))
+	s.mux.HandleFunc("POST /v1/topologies/{id}/solve", instrument("solve", s.handleSolve))
+	s.mux.HandleFunc("POST /v1/topologies/{id}/publish", instrument("publish", s.handlePublish))
+	s.mux.HandleFunc("GET /v1/topologies/{id}/lookup", instrument("lookup", s.handleLookup))
+	s.mux.HandleFunc("GET /v1/topologies/{id}/report", instrument("report", s.handleReport))
+	return s
+}
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close unregisters every topology and stops its worker. In-flight
+// mutations finish; queued ones fail with a "gone" error. Safe to call
+// more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	stopped := make([]*topology, 0, len(s.topos))
+	for id, tp := range s.topos {
+		delete(s.topos, id)
+		stopped = append(stopped, tp)
+	}
+	s.mu.Unlock()
+	for _, tp := range stopped {
+		tp.stop()
+		tp.wg.Wait()
+	}
+}
+
+// lookupTopology resolves a topology id under the read lock.
+func (s *Server) lookupTopology(id string) (*topology, *Error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tp, ok := s.topos[id]
+	if !ok {
+		return nil, notFoundf("unknown topology %q", id)
+	}
+	return tp, nil
+}
+
+// ids returns the registered topology ids, sorted.
+func (s *Server) ids() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.topos))
+	for id := range s.topos {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stats returns the process-wide expvar map for the service, creating
+// and registering it on first use. Counters are cumulative across every
+// Server in the process (they back GET /debug/vars, which expvar serves
+// process-wide anyway).
+func stats() *expvar.Map {
+	statsOnce.Do(func() { statsMap = expvar.NewMap("faircached") })
+	return statsMap
+}
+
+var (
+	statsOnce sync.Once
+	statsMap  *expvar.Map
+)
+
+// instrument wraps a handler with the request counter and the
+// per-endpoint request count and latency sum (microseconds).
+func instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		st := stats()
+		st.Add("requests", 1)
+		st.Add("requests_"+name, 1)
+		h(w, r)
+		st.Add("latency_us_"+name, time.Since(start).Microseconds())
+	}
+}

@@ -1,0 +1,402 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// testClient wraps an httptest server with JSON helpers.
+type testClient struct {
+	t   *testing.T
+	srv *httptest.Server
+}
+
+func newTestClient(t *testing.T, opts Options) (*testClient, *Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return &testClient{t: t, srv: ts}, s
+}
+
+func (c *testClient) do(method, path string, body any) (*http.Response, []byte) {
+	c.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatalf("marshal body: %v", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.srv.URL+path, rd)
+	if err != nil {
+		c.t.Fatalf("new request: %v", err)
+	}
+	resp, err := c.srv.Client().Do(req)
+	if err != nil {
+		c.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatalf("read body: %v", err)
+	}
+	return resp, out
+}
+
+func (c *testClient) doJSON(method, path string, body, out any, wantStatus int) {
+	c.t.Helper()
+	resp, raw := c.do(method, path, body)
+	if resp.StatusCode != wantStatus {
+		c.t.Fatalf("%s %s: status %d, want %d; body %s", method, path, resp.StatusCode, wantStatus, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			c.t.Fatalf("%s %s: unmarshal %q: %v", method, path, raw, err)
+		}
+	}
+}
+
+func (c *testClient) registerGrid(rows, cols, producer int) RegisterResponse {
+	c.t.Helper()
+	var out RegisterResponse
+	c.doJSON("POST", "/v1/topologies", RegisterRequest{
+		Kind: "grid", Rows: rows, Cols: cols, Producer: &producer,
+	}, &out, http.StatusCreated)
+	return out
+}
+
+type errorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+func (c *testClient) wantError(method, path string, body any, wantStatus int, wantCode string) {
+	c.t.Helper()
+	resp, raw := c.do(method, path, body)
+	if resp.StatusCode != wantStatus {
+		c.t.Fatalf("%s %s: status %d, want %d; body %s", method, path, resp.StatusCode, wantStatus, raw)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error == nil {
+		c.t.Fatalf("%s %s: not a typed error envelope: %s", method, path, raw)
+	}
+	if env.Error.Code != wantCode {
+		c.t.Fatalf("%s %s: code %q, want %q (message %q)", method, path, env.Error.Code, wantCode, env.Error.Message)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	var out HealthResponse
+	c.doJSON("GET", "/healthz", nil, &out, http.StatusOK)
+	if out.Status != "ok" || out.Topologies != 0 {
+		t.Fatalf("healthz = %+v, want ok with 0 topologies", out)
+	}
+	c.registerGrid(3, 3, 4)
+	c.doJSON("GET", "/healthz", nil, &out, http.StatusOK)
+	if out.Topologies != 1 {
+		t.Fatalf("topologies = %d after register, want 1", out.Topologies)
+	}
+}
+
+func TestRegisterKinds(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	cases := []struct {
+		name string
+		req  RegisterRequest
+		n    int
+	}{
+		{"grid", RegisterRequest{Kind: "grid", Rows: 3, Cols: 4}, 12},
+		{"random", RegisterRequest{Kind: "random", Nodes: 20, Seed: 7}, 20},
+		{"clustered", RegisterRequest{Kind: "clustered", Clusters: 3, Size: 5, Seed: 1}, 15},
+		{"line", RegisterRequest{Kind: "line", Nodes: 6}, 6},
+		{"ring", RegisterRequest{Kind: "ring", Nodes: 8}, 8},
+		{"links", RegisterRequest{Kind: "links", Nodes: 3, Links: [][2]int{{0, 1}, {1, 2}}}, 3},
+	}
+	for _, tc := range cases {
+		var out RegisterResponse
+		c.doJSON("POST", "/v1/topologies", tc.req, &out, http.StatusCreated)
+		if out.Nodes != tc.n {
+			t.Errorf("%s: nodes = %d, want %d", tc.name, out.Nodes, tc.n)
+		}
+		if out.Version != 1 {
+			t.Errorf("%s: version = %d, want 1", tc.name, out.Version)
+		}
+	}
+	var list struct {
+		Topologies []TopologyInfo `json:"topologies"`
+	}
+	c.doJSON("GET", "/v1/topologies", nil, &list, http.StatusOK)
+	if len(list.Topologies) != len(cases) {
+		t.Fatalf("list has %d topologies, want %d", len(list.Topologies), len(cases))
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	c, _ := newTestClient(t, Options{MaxNodes: 50})
+	c.wantError("POST", "/v1/topologies", RegisterRequest{Kind: "pyramid"}, http.StatusBadRequest, CodeBadRequest)
+	c.wantError("POST", "/v1/topologies", RegisterRequest{Kind: "grid", Rows: 0, Cols: 5}, http.StatusBadRequest, CodeBadRequest)
+	c.wantError("POST", "/v1/topologies", RegisterRequest{Kind: "grid", Rows: 10, Cols: 10}, http.StatusBadRequest, CodeBadRequest) // MaxNodes
+	bad := 99
+	c.wantError("POST", "/v1/topologies", RegisterRequest{Kind: "grid", Rows: 3, Cols: 3, Producer: &bad}, http.StatusBadRequest, CodeBadRequest)
+	c.wantError("POST", "/v1/topologies", RegisterRequest{Kind: "links", Nodes: 4, Links: [][2]int{{0, 1}}}, http.StatusBadRequest, CodeBadRequest) // disconnected
+	// Unknown JSON fields are rejected by the strict decoder.
+	resp, _ := c.do("POST", "/v1/topologies", map[string]any{"kind": "grid", "rows": 3, "cols": 3, "bogus": true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: status %d", resp.StatusCode)
+	}
+}
+
+func TestSolveEveryAlgorithm(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	reg := c.registerGrid(4, 4, 9)
+	for _, alg := range []string{"appx", "dist", "hopc", "cont"} {
+		var out SolveResponse
+		c.doJSON("POST", "/v1/topologies/"+reg.ID+"/solve",
+			SolveRequest{Algorithm: alg, Chunks: 3}, &out, http.StatusOK)
+		if out.Algorithm == "" || len(out.Holders) != 3 {
+			t.Fatalf("%s: bad solve response %+v", alg, out)
+		}
+		if out.TotalCost <= 0 {
+			t.Errorf("%s: non-positive total cost %f", alg, out.TotalCost)
+		}
+		for chunk, holders := range out.Holders {
+			if len(holders) == 0 {
+				t.Errorf("%s: chunk %d has no holders", alg, chunk)
+			}
+		}
+	}
+	// Budgeted exact solve on a tiny topology.
+	small := c.registerGrid(2, 2, 0)
+	var out SolveResponse
+	c.doJSON("POST", "/v1/topologies/"+small.ID+"/solve",
+		SolveRequest{Algorithm: "brtf", Chunks: 1, Options: &SolveOptions{SearchBudget: 500}}, &out, http.StatusOK)
+	if len(out.Holders) != 1 {
+		t.Fatalf("brtf: holders %v", out.Holders)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	reg := c.registerGrid(3, 3, 4)
+	c.wantError("POST", "/v1/topologies/"+reg.ID+"/solve",
+		SolveRequest{Algorithm: "magic"}, http.StatusBadRequest, CodeBadRequest)
+	c.wantError("POST", "/v1/topologies/"+reg.ID+"/solve",
+		SolveRequest{Algorithm: "appx", Chunks: -2}, http.StatusBadRequest, CodeBadRequest)
+	c.wantError("POST", "/v1/topologies/nope/solve",
+		SolveRequest{Algorithm: "appx"}, http.StatusNotFound, CodeNotFound)
+}
+
+func TestSolveTimeout(t *testing.T) {
+	c, _ := newTestClient(t, Options{SolveTimeout: time.Nanosecond})
+	reg := c.registerGrid(4, 4, 9)
+	// The solve cannot finish within a nanosecond; the worker either
+	// skips it (queued past deadline) or discards the late result.
+	c.wantError("POST", "/v1/topologies/"+reg.ID+"/solve",
+		SolveRequest{Algorithm: "appx", Chunks: 2}, http.StatusGatewayTimeout, CodeTimeout)
+	// A timed-out solve must not have committed a snapshot.
+	var rep ReportResponse
+	c.doJSON("GET", "/v1/topologies/"+reg.ID+"/report", nil, &rep, http.StatusOK)
+	if rep.Snapshot.Solves != 0 || rep.Snapshot.Chunks != 0 {
+		t.Fatalf("timed-out solve committed: %+v", rep.Snapshot)
+	}
+}
+
+func TestPublishAndLookup(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	reg := c.registerGrid(4, 4, 5)
+	var pub PublishResponse
+	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/publish", PublishRequest{Count: 3}, &pub, http.StatusOK)
+	if pub.Clock != 3 || pub.Published != 3 || len(pub.Publications) != 3 {
+		t.Fatalf("publish response %+v, want clock=published=3", pub)
+	}
+	if pub.Version != 2 {
+		t.Fatalf("version = %d, want 2 (register + one publish batch)", pub.Version)
+	}
+	for _, p := range pub.Publications {
+		if len(p.CacheNodes) == 0 {
+			t.Fatalf("publication %d placed no copies", p.Chunk)
+		}
+	}
+
+	var lk LookupResponse
+	c.doJSON("GET", fmt.Sprintf("/v1/topologies/%s/lookup?chunk=0&node=15", reg.ID), nil, &lk, http.StatusOK)
+	if lk.ServedBy < 0 || lk.ServedBy >= 16 {
+		t.Fatalf("servedBy = %d out of range", lk.ServedBy)
+	}
+	if !lk.FromProducer {
+		found := false
+		for _, h := range pub.Holders[0] {
+			if h == lk.ServedBy {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("servedBy %d is neither producer nor a holder of chunk 0 (%v)", lk.ServedBy, pub.Holders[0])
+		}
+	}
+	// The requester itself may hold the chunk, in which case hops is 0.
+	if lk.Hops < 0 {
+		t.Fatalf("negative hops %d", lk.Hops)
+	}
+
+	// Lookup validation: unknown chunk, bad node, missing params.
+	c.wantError("GET", fmt.Sprintf("/v1/topologies/%s/lookup?chunk=99&node=0", reg.ID), nil, http.StatusNotFound, CodeNotFound)
+	c.wantError("GET", fmt.Sprintf("/v1/topologies/%s/lookup?chunk=0&node=99", reg.ID), nil, http.StatusBadRequest, CodeBadRequest)
+	c.wantError("GET", fmt.Sprintf("/v1/topologies/%s/lookup?chunk=0", reg.ID), nil, http.StatusBadRequest, CodeBadRequest)
+	c.wantError("GET", fmt.Sprintf("/v1/topologies/%s/lookup?chunk=x&node=0", reg.ID), nil, http.StatusBadRequest, CodeBadRequest)
+}
+
+func TestLookupAfterExpiryServedByProducer(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	producer := 0
+	var reg RegisterResponse
+	c.doJSON("POST", "/v1/topologies", RegisterRequest{
+		Kind: "grid", Rows: 3, Cols: 3, Producer: &producer, ChunkTTL: 1,
+	}, &reg, http.StatusCreated)
+	var pub PublishResponse
+	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/publish", PublishRequest{Count: 2}, &pub, http.StatusOK)
+	// TTL=1: chunk 0 expired when chunk 1 was published, but it is still
+	// a known id — the producer serves it.
+	var lk LookupResponse
+	c.doJSON("GET", fmt.Sprintf("/v1/topologies/%s/lookup?chunk=0&node=8", reg.ID), nil, &lk, http.StatusOK)
+	if !lk.FromProducer || lk.ServedBy != producer {
+		t.Fatalf("expired chunk served by %d (fromProducer=%v), want producer %d", lk.ServedBy, lk.FromProducer, producer)
+	}
+	if len(pub.Holders[0]) != 0 {
+		t.Fatalf("chunk 0 should have expired, holders %v", pub.Holders[0])
+	}
+}
+
+func TestReport(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	reg := c.registerGrid(4, 4, 9)
+	var solve SolveResponse
+	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/solve", SolveRequest{Algorithm: "appx", Chunks: 4}, &solve, http.StatusOK)
+	var rep ReportResponse
+	c.doJSON("GET", "/v1/topologies/"+reg.ID+"/report", nil, &rep, http.StatusOK)
+	if rep.Snapshot.Version != solve.Version {
+		t.Fatalf("report version %d != solve version %d", rep.Snapshot.Version, solve.Version)
+	}
+	if rep.Snapshot.Source != "solve:Appx" {
+		t.Fatalf("source = %q", rep.Snapshot.Source)
+	}
+	if rep.Copies != solve.Copies || rep.DistinctCaches != solve.DistinctCaches {
+		t.Fatalf("report copies/distinct %d/%d != solve %d/%d", rep.Copies, rep.DistinctCaches, solve.Copies, solve.DistinctCaches)
+	}
+	if rep.Gini != solve.Gini {
+		t.Fatalf("report gini %f != solve gini %f", rep.Gini, solve.Gini)
+	}
+	if len(rep.StorageCurve) != 16 {
+		t.Fatalf("storage curve has %d points, want 16", len(rep.StorageCurve))
+	}
+	if rep.LiveChunks != 4 {
+		t.Fatalf("liveChunks = %d, want 4", rep.LiveChunks)
+	}
+}
+
+func TestSolveThenPublishKeepsOnlineState(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	reg := c.registerGrid(4, 4, 5)
+	var p1 PublishResponse
+	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/publish", nil, &p1, http.StatusOK)
+	var solve SolveResponse
+	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/solve", SolveRequest{Algorithm: "hopc", Chunks: 2}, &solve, http.StatusOK)
+	// The solve replaced the committed snapshot...
+	var rep ReportResponse
+	c.doJSON("GET", "/v1/topologies/"+reg.ID+"/report", nil, &rep, http.StatusOK)
+	if rep.Snapshot.Source != "solve:Hopc" {
+		t.Fatalf("source = %q", rep.Snapshot.Source)
+	}
+	// ...but the online clock carries on from where it was.
+	var p2 PublishResponse
+	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/publish", nil, &p2, http.StatusOK)
+	if p2.Clock != 2 || p2.Published != 2 {
+		t.Fatalf("online clock = %d published = %d after solve, want 2/2", p2.Clock, p2.Published)
+	}
+	if p2.Version != solve.Version+1 {
+		t.Fatalf("version %d, want %d", p2.Version, solve.Version+1)
+	}
+}
+
+func TestDeleteTopology(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	reg := c.registerGrid(3, 3, 4)
+	c.doJSON("DELETE", "/v1/topologies/"+reg.ID, nil, nil, http.StatusOK)
+	c.wantError("DELETE", "/v1/topologies/"+reg.ID, nil, http.StatusNotFound, CodeNotFound)
+	c.wantError("GET", "/v1/topologies/"+reg.ID+"/report", nil, http.StatusNotFound, CodeNotFound)
+	var out HealthResponse
+	c.doJSON("GET", "/healthz", nil, &out, http.StatusOK)
+	if out.Topologies != 0 {
+		t.Fatalf("topologies = %d after delete, want 0", out.Topologies)
+	}
+}
+
+func TestDebugVarsCounters(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	read := func() map[string]json.RawMessage {
+		var all map[string]json.RawMessage
+		c.doJSON("GET", "/debug/vars", nil, &all, http.StatusOK)
+		var fc map[string]json.RawMessage
+		if raw, ok := all["faircached"]; ok {
+			if err := json.Unmarshal(raw, &fc); err != nil {
+				t.Fatalf("faircached vars: %v", err)
+			}
+		}
+		return fc
+	}
+	counter := func(m map[string]json.RawMessage, key string) int64 {
+		raw, ok := m[key]
+		if !ok {
+			return 0
+		}
+		var v int64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("counter %s = %s: %v", key, raw, err)
+		}
+		return v
+	}
+	before := read()
+	reg := c.registerGrid(3, 3, 4)
+	var solve SolveResponse
+	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/solve", SolveRequest{Algorithm: "appx", Chunks: 2}, &solve, http.StatusOK)
+	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/publish", nil, nil, http.StatusOK)
+	var lk LookupResponse
+	c.doJSON("GET", fmt.Sprintf("/v1/topologies/%s/lookup?chunk=0&node=0", reg.ID), nil, &lk, http.StatusOK)
+	after := read()
+
+	for _, key := range []string{"requests", "solves", "publications", "lookups", "registrations"} {
+		b, a := counter(before, key), counter(after, key)
+		if a <= b {
+			t.Errorf("counter %s did not increase: %d -> %d", key, b, a)
+		}
+	}
+	if counter(after, "latency_us_solve") <= counter(before, "latency_us_solve") {
+		t.Errorf("latency_us_solve did not grow")
+	}
+}
+
+func TestServerCloseRejectsNewWork(t *testing.T) {
+	c, s := newTestClient(t, Options{})
+	reg := c.registerGrid(3, 3, 4)
+	s.Close()
+	resp, _ := c.do("POST", "/v1/topologies", RegisterRequest{Kind: "grid", Rows: 3, Cols: 3})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("register after close: status %d, want 503", resp.StatusCode)
+	}
+	// The old topology is gone from the registry.
+	resp, _ = c.do("GET", "/v1/topologies/"+reg.ID+"/report", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("report after close: status %d, want 404", resp.StatusCode)
+	}
+}

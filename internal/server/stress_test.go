@@ -1,0 +1,153 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentLookupPublishStress interleaves >= 100 lookup requests
+// with >= 10 online publications on one topology and verifies that every
+// lookup observed a consistent snapshot: each answer names a node that
+// actually cached the chunk in the committed state of the exact version
+// the lookup reports (or the producer, which serves any known chunk).
+// Run with -race to also exercise the memory model.
+func TestConcurrentLookupPublishStress(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	producer := 5
+	var reg RegisterResponse
+	c.doJSON("POST", "/v1/topologies", RegisterRequest{
+		Kind: "grid", Rows: 4, Cols: 4, Producer: &producer, Capacity: 3,
+	}, &reg, http.StatusCreated)
+
+	const (
+		publications = 12
+		readers      = 4
+		lookupsEach  = 30
+	)
+
+	// committed[version] = holders map of that committed snapshot.
+	committed := map[int]map[int][]int{
+		1: {}, // the register commit holds nothing
+	}
+	var committedMu sync.Mutex
+	var published atomic.Int64
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the single publisher
+		defer wg.Done()
+		for i := 0; i < publications; i++ {
+			var pub PublishResponse
+			c.doJSON("POST", "/v1/topologies/"+reg.ID+"/publish", nil, &pub, http.StatusOK)
+			committedMu.Lock()
+			committed[pub.Version] = pub.Holders
+			committedMu.Unlock()
+			published.Store(int64(pub.Published))
+		}
+	}()
+
+	type observation struct {
+		lk  LookupResponse
+		raw string
+	}
+	results := make(chan observation, readers*lookupsEach)
+	var lookups atomic.Int64
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < lookupsEach; i++ {
+				known := int(published.Load())
+				chunk := 0
+				if known > 0 {
+					chunk = (r*lookupsEach + i) % known
+				}
+				node := (r*7 + i*3) % 16
+				resp, raw := c.do("GET",
+					fmt.Sprintf("/v1/topologies/%s/lookup?chunk=%d&node=%d", reg.ID, chunk, node), nil)
+				if resp.StatusCode == http.StatusNotFound {
+					continue // raced ahead of the first publication
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("lookup status %d: %s", resp.StatusCode, raw)
+					continue
+				}
+				var lk LookupResponse
+				if err := json.Unmarshal(raw, &lk); err != nil {
+					t.Errorf("lookup unmarshal: %v", err)
+					continue
+				}
+				lookups.Add(1)
+				results <- observation{lk, string(raw)}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(results)
+
+	if got := lookups.Load(); got < 100 {
+		t.Fatalf("only %d successful lookups, want >= 100", got)
+	}
+
+	for obs := range results {
+		lk := obs.lk
+		if lk.FromProducer {
+			if lk.ServedBy != producer {
+				t.Fatalf("fromProducer lookup served by %d, want %d: %s", lk.ServedBy, producer, obs.raw)
+			}
+			continue
+		}
+		holders, ok := committed[lk.Version]
+		if !ok {
+			t.Fatalf("lookup observed version %d that was never committed: %s", lk.Version, obs.raw)
+		}
+		found := false
+		for _, h := range holders[lk.Chunk] {
+			if h == lk.ServedBy {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("lookup v%d chunk %d served by %d, but committed holders are %v: %s",
+				lk.Version, lk.Chunk, lk.ServedBy, holders[lk.Chunk], obs.raw)
+		}
+	}
+}
+
+// TestConcurrentMixedWorkload hammers one topology with concurrent
+// solves, publishes, lookups and reports to shake out data races in the
+// registry / worker / snapshot machinery (meaningful under -race).
+func TestConcurrentMixedWorkload(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	reg := c.registerGrid(4, 4, 9)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				switch (w + i) % 3 {
+				case 0:
+					c.do("POST", "/v1/topologies/"+reg.ID+"/solve",
+						SolveRequest{Algorithm: "hopc", Chunks: 2})
+				case 1:
+					c.do("POST", "/v1/topologies/"+reg.ID+"/publish", nil)
+				default:
+					c.do("GET", "/v1/topologies/"+reg.ID+"/report", nil)
+					c.do("GET", "/v1/topologies/"+reg.ID+"/lookup?chunk=0&node=3", nil)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var rep ReportResponse
+	c.doJSON("GET", "/v1/topologies/"+reg.ID+"/report", nil, &rep, http.StatusOK)
+	if rep.Snapshot.Version < 2 {
+		t.Fatalf("no mutations committed: %+v", rep.Snapshot)
+	}
+}

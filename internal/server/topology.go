@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	faircache "repro"
+)
+
+// Snapshot is the immutable committed state of one registered topology.
+// Workers build a fresh Snapshot after every mutation and swap it in
+// atomically; readers load the pointer and never see a half-applied
+// mutation. A Snapshot must never be modified after it is stored.
+type Snapshot struct {
+	// Version increases by one per committed mutation, starting at 1 for
+	// the registration commit.
+	Version int `json:"version"`
+	// Source records what committed this snapshot: "register",
+	// "solve:<algorithm>" or "publish".
+	Source string `json:"source"`
+	// Producer is the topology's producer node.
+	Producer int `json:"producer"`
+	// Chunks is the number of known chunk ids; ids in [0, Chunks) are
+	// valid lookup targets even when their copies have expired (the
+	// producer always serves them).
+	Chunks int `json:"chunks"`
+	// Holders maps each live chunk id to the nodes caching it.
+	Holders map[int][]int `json:"holders"`
+	// Counts is the per-node cached-chunk count.
+	Counts []int `json:"counts"`
+	// Clock is the online system's publication count.
+	Clock int `json:"clock"`
+	// Solves and Publications count committed mutations by kind.
+	Solves       int `json:"solves"`
+	Publications int `json:"publications"`
+}
+
+// command is one serialized mutation handed to a topology's worker.
+type command struct {
+	ctx   context.Context
+	apply func() (any, error)
+	reply chan cmdResult
+}
+
+type cmdResult struct {
+	value any
+	err   error
+}
+
+// topology is one registered topology: an immutable network, a
+// single-writer worker goroutine that owns all mutable state, and an
+// atomically swapped snapshot that read endpoints consume lock-free.
+type topology struct {
+	id       string
+	kind     string
+	topo     *faircache.Topology
+	producer int
+	capacity int
+
+	cmds     chan *command
+	quit     chan struct{}
+	quitOnce sync.Once
+	wg       sync.WaitGroup
+	snap     atomic.Pointer[Snapshot]
+
+	// Worker-owned state below: only the run() goroutine touches it.
+	online  *faircache.OnlineSystem
+	version int
+}
+
+func newTopology(id, kind string, topo *faircache.Topology, producer, capacity int, online *faircache.OnlineSystem) *topology {
+	tp := &topology{
+		id:       id,
+		kind:     kind,
+		topo:     topo,
+		producer: producer,
+		capacity: capacity,
+		cmds:     make(chan *command),
+		quit:     make(chan struct{}),
+		online:   online,
+	}
+	tp.version = 1
+	tp.snap.Store(&Snapshot{
+		Version:  1,
+		Source:   "register",
+		Producer: producer,
+		Holders:  map[int][]int{},
+		Counts:   make([]int, topo.NumNodes()),
+	})
+	tp.wg.Add(1)
+	go tp.run()
+	return tp
+}
+
+// run is the topology's single-writer loop: mutations are applied one at
+// a time, each ending in an atomic snapshot swap. Requests whose context
+// expired while queued are skipped without running.
+func (tp *topology) run() {
+	defer tp.wg.Done()
+	for {
+		select {
+		case <-tp.quit:
+			return
+		case cmd := <-tp.cmds:
+			if err := cmd.ctx.Err(); err != nil {
+				cmd.reply <- cmdResult{err: timeoutf("request expired before the %s worker ran it: %v", tp.id, err)}
+				continue
+			}
+			v, err := cmd.apply()
+			cmd.reply <- cmdResult{value: v, err: err}
+		}
+	}
+}
+
+// do submits a mutation to the worker and waits for its result, the
+// request deadline, or topology shutdown — whichever comes first. The
+// reply channel is buffered so an abandoned command never blocks the
+// worker.
+func (tp *topology) do(ctx context.Context, apply func() (any, error)) (any, error) {
+	cmd := &command{ctx: ctx, apply: apply, reply: make(chan cmdResult, 1)}
+	select {
+	case tp.cmds <- cmd:
+	case <-tp.quit:
+		return nil, gonef("topology %s is shut down", tp.id)
+	case <-ctx.Done():
+		return nil, timeoutf("request expired while waiting for the %s worker: %v", tp.id, ctx.Err())
+	}
+	select {
+	case res := <-cmd.reply:
+		return res.value, res.err
+	case <-tp.quit:
+		return nil, gonef("topology %s shut down mid-request", tp.id)
+	case <-ctx.Done():
+		return nil, timeoutf("request deadline passed while the %s worker was busy: %v", tp.id, ctx.Err())
+	}
+}
+
+// commit assigns the next version and publishes the snapshot. The caller
+// fills Source, Chunks, Holders, Counts, Clock and the Solves /
+// Publications totals (usually carried forward from tp.snap.Load()).
+// Worker goroutine only.
+func (tp *topology) commit(snap *Snapshot) *Snapshot {
+	tp.version++
+	snap.Version = tp.version
+	snap.Producer = tp.producer
+	tp.snap.Store(snap)
+	return snap
+}
+
+// stop signals the worker to exit after its current mutation. Safe to
+// call more than once and from any goroutine.
+func (tp *topology) stop() {
+	tp.quitOnce.Do(func() { close(tp.quit) })
+}

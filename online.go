@@ -32,10 +32,16 @@ type OnlineSystem struct {
 }
 
 // NewOnline builds an online system on a topology. Options.Capacity sets
-// per-node storage and Options.ChunkTTL the chunk lifetime (in subsequent
-// publications; 0 keeps the default of one capacity-worth, negative means
-// chunks never expire).
+// per-node storage and Options.ChunkTTL the chunk lifetime in subsequent
+// publications: 0 keeps the default of one capacity-worth, any positive
+// value is used verbatim (ChunkTTL = 1 evicts a chunk at the very next
+// publication), and any negative value means chunks never expire. See the
+// Options.ChunkTTL documentation for the exact mapping onto the internal
+// encoding.
 func NewOnline(t *Topology, producer int, opts *Options) (*OnlineSystem, error) {
+	if opts != nil && opts.Capacity < 0 {
+		return nil, fmt.Errorf("%w: negative capacity %d", ErrBadArgument, opts.Capacity)
+	}
 	o := opts.withDefaults()
 	onlineOpts := online.Options{
 		Capacity: o.Capacity,
@@ -82,6 +88,38 @@ func (o *OnlineSystem) Publish() (*Publication, error) {
 
 // Holders returns the nodes currently caching the given chunk.
 func (o *OnlineSystem) Holders(chunk int) []int { return o.sys.Holders(chunk) }
+
+// OnlineSnapshot is an immutable copy of an online system's committed
+// state, taken between publications. It is the export hook a serving
+// layer needs: answer reads from the snapshot while the next mutation is
+// prepared against the live system.
+type OnlineSnapshot struct {
+	// Clock is the number of publications so far.
+	Clock int
+	// Published is the total number of chunk ids ever assigned; ids in
+	// [0, Published) are known to the system even if since expired.
+	Published int
+	// Holders maps each live chunk id to the nodes caching it.
+	Holders map[int][]int
+	// Counts is the per-node cached-chunk count.
+	Counts []int
+}
+
+// Snapshot returns a deep-copied snapshot of the current state. The
+// caller may retain and read it concurrently with later publications.
+func (o *OnlineSystem) Snapshot() *OnlineSnapshot {
+	live := o.sys.Live()
+	holders := make(map[int][]int, len(live))
+	for _, chunk := range live {
+		holders[chunk] = o.sys.Holders(chunk)
+	}
+	return &OnlineSnapshot{
+		Clock:     o.sys.Clock(),
+		Published: o.sys.Published(),
+		Holders:   holders,
+		Counts:    o.sys.Counts(),
+	}
+}
 
 // Live returns the ids of chunks currently cached somewhere.
 func (o *OnlineSystem) Live() []int { return o.sys.Live() }

@@ -1,0 +1,206 @@
+package faircache
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestWithDefaultsNil covers the nil-receiver path: every field lands on
+// the paper's defaults.
+func TestWithDefaultsNil(t *testing.T) {
+	var o *Options
+	got := o.withDefaults()
+	if got.Capacity != 5 {
+		t.Errorf("Capacity = %d, want 5", got.Capacity)
+	}
+	if got.FairnessWeight != 1 {
+		t.Errorf("FairnessWeight = %f, want 1", got.FairnessWeight)
+	}
+	if got.HopLimit != 2 {
+		t.Errorf("HopLimit = %d, want 2", got.HopLimit)
+	}
+	if got.Capacities != nil || got.BatteryLevels != nil {
+		t.Errorf("nil options produced non-nil slices: %+v", got)
+	}
+}
+
+// TestWithDefaultsCapacityFallback covers the zero- and negative-capacity
+// branches: both fall back to the paper's 5.
+func TestWithDefaultsCapacityFallback(t *testing.T) {
+	for _, capacity := range []int{0, -3} {
+		got := (&Options{Capacity: capacity}).withDefaults()
+		if got.Capacity != 5 {
+			t.Errorf("Capacity %d -> %d, want fallback 5", capacity, got.Capacity)
+		}
+	}
+	got := (&Options{Capacity: 9}).withDefaults()
+	if got.Capacity != 9 {
+		t.Errorf("Capacity 9 -> %d, want 9 kept", got.Capacity)
+	}
+}
+
+// TestWithDefaultsFairnessWeightClamp covers the FairnessWeight branches:
+// zero selects the default 1, negative requests the contention-only
+// ablation and is clamped to 0, positive passes through.
+func TestWithDefaultsFairnessWeightClamp(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want float64
+	}{
+		{0, 1},
+		{-1, 0},
+		{-0.5, 0},
+		{2.5, 2.5},
+	}
+	for _, tc := range cases {
+		got := (&Options{FairnessWeight: tc.in}).withDefaults()
+		if got.FairnessWeight != tc.want {
+			t.Errorf("FairnessWeight %f -> %f, want %f", tc.in, got.FairnessWeight, tc.want)
+		}
+	}
+}
+
+// TestWithDefaultsCapacitiesPassthrough: heterogeneous capacities pass
+// through untouched and coexist with the scalar default.
+func TestWithDefaultsCapacitiesPassthrough(t *testing.T) {
+	caps := []int{1, 2, 3}
+	got := (&Options{Capacities: caps}).withDefaults()
+	if !reflect.DeepEqual(got.Capacities, caps) {
+		t.Errorf("Capacities = %v, want %v", got.Capacities, caps)
+	}
+	if got.Capacity != 5 {
+		t.Errorf("scalar Capacity = %d, want default 5 alongside Capacities", got.Capacity)
+	}
+}
+
+// TestWithDefaultsMiscBranches covers the remaining conditional copies.
+func TestWithDefaultsMiscBranches(t *testing.T) {
+	got := (&Options{HopLimit: -1}).withDefaults()
+	if got.HopLimit != 2 {
+		t.Errorf("HopLimit -1 -> %d, want default 2", got.HopLimit)
+	}
+	got = (&Options{HopLimit: 4}).withDefaults()
+	if got.HopLimit != 4 {
+		t.Errorf("HopLimit 4 -> %d, want 4", got.HopLimit)
+	}
+	got = (&Options{BatteryWeight: -2}).withDefaults()
+	if got.BatteryWeight != 0 {
+		t.Errorf("BatteryWeight -2 -> %f, want clamp to 0 (disabled)", got.BatteryWeight)
+	}
+	got = (&Options{ChunkTTL: -1, GreedyConFL: true, ImproveSteiner: true}).withDefaults()
+	if got.ChunkTTL != -1 || !got.GreedyConFL || !got.ImproveSteiner {
+		t.Errorf("passthrough fields lost: %+v", got)
+	}
+}
+
+// TestOnlineTTLNeverExpire: ChunkTTL = -1 maps to "never expire" — no
+// publication ever evicts, and every chunk stays live and locatable.
+func TestOnlineTTLNeverExpire(t *testing.T) {
+	topo, err := Grid(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewOnline(topo, 9, &Options{Capacity: 3, ChunkTTL: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pubs = 6
+	for i := 0; i < pubs; i++ {
+		pub, err := sys.Publish()
+		if err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		if len(pub.Expired) != 0 {
+			t.Fatalf("publish %d evicted %v with never-expire TTL", i, pub.Expired)
+		}
+		if len(pub.CacheNodes) == 0 {
+			t.Fatalf("publish %d placed no copies", i)
+		}
+	}
+	live := sys.Live()
+	if len(live) != pubs {
+		t.Fatalf("Live() = %v, want all %d chunks live", live, pubs)
+	}
+	for chunk := 0; chunk < pubs; chunk++ {
+		if len(sys.Holders(chunk)) == 0 {
+			t.Errorf("chunk %d has no holders under never-expire TTL", chunk)
+		}
+	}
+	snap := sys.Snapshot()
+	if snap.Clock != pubs || snap.Published != pubs || len(snap.Holders) != pubs {
+		t.Fatalf("snapshot %+v, want clock=published=%d with %d live chunks", snap, pubs, pubs)
+	}
+}
+
+// TestOnlineTTLImmediateExpiry: ChunkTTL = 1 means a chunk published at
+// time t is evicted before the publication at t+1 — exactly one chunk is
+// ever live.
+func TestOnlineTTLImmediateExpiry(t *testing.T) {
+	topo, err := Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewOnline(topo, 4, &Options{Capacity: 3, ChunkTTL: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		pub, err := sys.Publish()
+		if err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		if i == 0 {
+			if len(pub.Expired) != 0 {
+				t.Fatalf("first publication expired %v", pub.Expired)
+			}
+		} else if !reflect.DeepEqual(pub.Expired, []int{i - 1}) {
+			t.Fatalf("publish %d expired %v, want [%d]", i, pub.Expired, i-1)
+		}
+		live := sys.Live()
+		if !reflect.DeepEqual(live, []int{i}) {
+			t.Fatalf("after publish %d, Live() = %v, want [%d]", i, live, i)
+		}
+	}
+	// Expired chunks hold nothing; the latest does.
+	if n := len(sys.Holders(0)); n != 0 {
+		t.Errorf("expired chunk 0 still has %d holders", n)
+	}
+	if len(sys.Holders(3)) == 0 {
+		t.Error("latest chunk has no holders")
+	}
+}
+
+// TestNewOnlineValidatesCapacity: a negative capacity is rejected with
+// the library's typed argument error instead of being silently defaulted.
+func TestNewOnlineValidatesCapacity(t *testing.T) {
+	topo, err := Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOnline(topo, 0, &Options{Capacity: -1}); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("NewOnline(capacity=-1) error = %v, want ErrBadArgument", err)
+	}
+}
+
+// TestTopologyHopDistances covers the façade's BFS export hook.
+func TestTopologyHopDistances(t *testing.T) {
+	topo, err := Grid(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := topo.HopDistances(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 1, 2, 3} // row-major 2x3 grid from corner 0
+	if !reflect.DeepEqual(dist, want) {
+		t.Fatalf("HopDistances(0) = %v, want %v", dist, want)
+	}
+	if _, err := topo.HopDistances(-1); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("HopDistances(-1) error = %v, want ErrBadArgument", err)
+	}
+	if _, err := topo.HopDistances(6); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("HopDistances(6) error = %v, want ErrBadArgument", err)
+	}
+}
