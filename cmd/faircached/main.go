@@ -5,15 +5,21 @@
 //
 // Examples:
 //
-//	faircached                          # serve on :8080
+//	faircached                          # serve on :8080, in-memory
 //	faircached -addr 127.0.0.1:9090    # explicit bind address
+//	faircached -data-dir /var/lib/fc    # durable: WAL + snapshots; a
+//	                                    # restart on the same dir recovers
+//	                                    # every topology and placement
+//	faircached -data-dir d -fsync never # trade durability for speed
+//	faircached -data-dir d -inspect     # print a redacted record listing
+//	                                    # of an existing data dir and exit
 //	faircached -load                    # self-driving load-test mode:
 //	                                    # registers a grid, hammers it,
 //	                                    # prints throughput, exits
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests drain (up to -drain-timeout), then every
-// topology worker is stopped.
+// topology worker is stopped and the write-ahead log is closed.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -33,33 +40,59 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/server/loadgen"
+	"repro/internal/wal"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		solveTimeout = flag.Duration("solve-timeout", 30*time.Second, "server-side cap on one solve request")
-		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
-		maxNodes     = flag.Int("max-nodes", 4096, "largest registrable topology")
-		load         = flag.Bool("load", false, "self-driving load mode: register a grid, run the load generator, print stats, exit")
-		loadGrid     = flag.String("load-grid", "6x6", "grid for -load mode, ROWSxCOLS")
-		loadRequests = flag.Int("load-requests", 500, "total operations in -load mode")
-		loadWorkers  = flag.Int("load-workers", 4, "concurrent clients in -load mode")
+		addr          = flag.String("addr", ":8080", "listen address")
+		solveTimeout  = flag.Duration("solve-timeout", 30*time.Second, "server-side cap on one solve request")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
+		maxNodes      = flag.Int("max-nodes", 4096, "largest registrable topology")
+		dataDir       = flag.String("data-dir", "", "durable state directory (WAL + snapshots); empty keeps the service in-memory")
+		fsync         = flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
+		snapshotEvery = flag.Int("snapshot-every", 256, "WAL records between full-state snapshots (negative disables)")
+		inspect       = flag.Bool("inspect", false, "print a redacted record listing of -data-dir and exit")
+		load          = flag.Bool("load", false, "self-driving load mode: register a grid, run the load generator, print stats, exit")
+		loadGrid      = flag.String("load-grid", "6x6", "grid for -load mode, ROWSxCOLS")
+		loadRequests  = flag.Int("load-requests", 500, "total operations in -load mode")
+		loadWorkers   = flag.Int("load-workers", 4, "concurrent clients in -load mode")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *solveTimeout, *drainTimeout, *maxNodes, *load, *loadGrid, *loadRequests, *loadWorkers); err != nil {
+	if *inspect {
+		if err := runInspect(os.Stdout, *dataDir); err != nil {
+			fmt.Fprintln(os.Stderr, "faircached:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	opts := server.Options{
+		SolveTimeout:  *solveTimeout,
+		MaxNodes:      *maxNodes,
+		DataDir:       *dataDir,
+		Fsync:         *fsync,
+		SnapshotEvery: *snapshotEvery,
+	}
+	if err := run(*addr, opts, *drainTimeout, *load, *loadGrid, *loadRequests, *loadWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "faircached:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, solveTimeout, drainTimeout time.Duration, maxNodes int, load bool, loadGrid string, loadRequests, loadWorkers int) error {
-	svc := server.New(server.Options{SolveTimeout: solveTimeout, MaxNodes: maxNodes})
+func run(addr string, opts server.Options, drainTimeout time.Duration, load bool, loadGrid string, loadRequests, loadWorkers int) error {
+	svc, err := server.New(opts)
+	if err != nil {
+		return err
+	}
+	if opts.DataDir != "" {
+		fmt.Printf("faircached: durable state in %s (fsync=%s)\n", opts.DataDir, opts.Fsync)
+	}
 	httpSrv := &http.Server{Handler: svc}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		svc.Close()
 		return err
 	}
 	fmt.Printf("faircached: listening on %s\n", ln.Addr())
@@ -92,6 +125,69 @@ func run(addr string, solveTimeout, drainTimeout time.Duration, maxNodes int, lo
 	svc.Close()
 	fmt.Println("faircached: shutdown complete")
 	return loadErr
+}
+
+// runInspect prints one line per WAL record in a data dir — file, offset,
+// type, topology id, version, clock and payload size, but never holder
+// sets or counts (the listing is redacted) — followed by the registry
+// state a recovery would produce.
+func runInspect(w io.Writer, dir string) error {
+	if dir == "" {
+		return fmt.Errorf("-inspect requires -data-dir")
+	}
+	entries, err := wal.List(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "faircached: %s: %d WAL entries\n", dir, len(entries))
+	for _, e := range entries {
+		if e.Err != "" {
+			fmt.Fprintf(w, "%s @%-6d %-8s  UNDECODABLE: %s\n", e.File, e.Offset, e.Kind, e.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%s @%-6d %-8s  %s  (%d bytes)\n", e.File, e.Offset, e.Kind, describePayload(e.Kind, e.Payload), len(e.Payload))
+	}
+	st, err := server.LoadWALState(dir)
+	if err != nil {
+		return fmt.Errorf("replaying state: %w", err)
+	}
+	fmt.Fprintf(w, "recovered state: nextID=%d topologies=%d\n", st.NextID, len(st.Topologies))
+	for _, ts := range st.Topologies {
+		version, chunks := 1, 0
+		if ts.Snap != nil {
+			version, chunks = ts.Snap.Version, ts.Snap.Chunks
+		}
+		fmt.Fprintf(w, "  %s kind=%s producer=%d capacity=%d version=%d clock=%d chunks=%d\n",
+			ts.ID, ts.Kind, ts.Producer, ts.Capacity, version, ts.Clock, chunks)
+	}
+	return nil
+}
+
+// describePayload summarizes one record without leaking its contents.
+func describePayload(kind string, payload []byte) string {
+	if kind == "snapshot" {
+		var st server.WALState
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return "snapshot (unparseable)"
+		}
+		return fmt.Sprintf("state snapshot: %d topologies, nextID=%d", len(st.Topologies), st.NextID)
+	}
+	var rec server.WALRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return "record (unparseable)"
+	}
+	switch rec.Type {
+	case server.WALRegister:
+		return fmt.Sprintf("register %s kind=%s producer=%d capacity=%d", rec.ID, rec.Kind, rec.Producer, rec.Capacity)
+	case server.WALSolve:
+		return fmt.Sprintf("solve    %s version=%d source=%s chunks=%d", rec.ID, rec.Snap.Version, rec.Snap.Source, rec.Snap.Chunks)
+	case server.WALPublish:
+		return fmt.Sprintf("publish  %s version=%d clock=%d count=%d", rec.ID, rec.Snap.Version, rec.Snap.Clock, rec.Count)
+	case server.WALDelete:
+		return fmt.Sprintf("delete   %s", rec.ID)
+	default:
+		return fmt.Sprintf("unknown type %q", rec.Type)
+	}
 }
 
 // runLoad self-drives the daemon: register a grid topology against the

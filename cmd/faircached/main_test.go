@@ -3,17 +3,20 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/server/loadgen"
 )
 
 // buildDaemon compiles the faircached binary into a temp dir once per
@@ -167,6 +170,199 @@ func TestLoadMode(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("load-mode output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestCrashRecovery is the durability end-to-end test: a daemon with
+// -data-dir takes a register, a solve and 20+ publications (the last
+// stretch from the concurrent load generator), dies on SIGKILL
+// mid-stream, and a restart on the same dir must answer /report and
+// /lookup exactly as the write-ahead log says the last fsynced commit
+// did. The expected state is derived from the WAL through
+// server.LoadWALState — an independent decode path, not the server's
+// own recovery code.
+func TestCrashRecovery(t *testing.T) {
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+	cmd, _, baseURL := startDaemon(t, bin, "-data-dir", dataDir, "-fsync", "always")
+	defer func() { _ = cmd.Process.Kill() }()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	producer := 5
+	body, _ := json.Marshal(server.RegisterRequest{Kind: "grid", Rows: 4, Cols: 4, Producer: &producer})
+	resp, err := client.Post(baseURL+"/v1/topologies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	var reg server.RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil || reg.ID == "" {
+		t.Fatalf("register: %+v err %v", reg, err)
+	}
+	resp.Body.Close()
+
+	body, _ = json.Marshal(server.SolveRequest{Algorithm: "appx", Chunks: 3})
+	resp, err = client.Post(baseURL+"/v1/topologies/"+reg.ID+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %v (status %v)", err, resp.Status)
+	}
+	resp.Body.Close()
+
+	// 20 acknowledged publications, then the load generator keeps the
+	// mutation stream hot so SIGKILL lands mid-traffic.
+	for i := 0; i < 20; i++ {
+		resp, err = client.Post(baseURL+"/v1/topologies/"+reg.ID+"/publish", "application/json", nil)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("publish %d: %v (status %v)", i, err, resp.Status)
+		}
+		resp.Body.Close()
+	}
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		// The generator dies with the daemon; any error is expected.
+		_, _ = loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL: baseURL, TopologyID: reg.ID, Requests: 100000, Workers: 4,
+		})
+	}()
+	time.Sleep(150 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_ = cmd.Wait()
+	<-loadDone
+
+	// What does the log say survived? Every acknowledged response was
+	// fsynced first, so this is at least the state the client saw.
+	st, err := server.LoadWALState(dataDir)
+	if err != nil {
+		t.Fatalf("LoadWALState: %v", err)
+	}
+	var want *server.WALTopology
+	for i := range st.Topologies {
+		if st.Topologies[i].ID == reg.ID {
+			want = &st.Topologies[i]
+		}
+	}
+	if want == nil || want.Snap == nil {
+		t.Fatalf("WAL lost topology %s: %+v", reg.ID, st)
+	}
+	if want.Clock < 20 {
+		t.Fatalf("WAL recorded only %d publications, want >= 20", want.Clock)
+	}
+
+	cmd2, scanner2, baseURL2 := startDaemon(t, bin, "-data-dir", dataDir, "-fsync", "always")
+	defer func() { _ = cmd2.Process.Kill() }()
+
+	var rep server.ReportResponse
+	resp, err = client.Get(baseURL2 + "/v1/topologies/" + reg.ID + "/report")
+	if err != nil {
+		t.Fatalf("recovered report: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("recovered report decode: %v", err)
+	}
+	resp.Body.Close()
+	if !reflect.DeepEqual(rep.Snapshot, want.Snap) {
+		t.Errorf("recovered snapshot diverges from the WAL:\n wal    %+v\n server %+v", want.Snap, rep.Snapshot)
+	}
+
+	// Lookups answer from the recovered holder sets.
+	for chunk := 0; chunk < 3; chunk++ {
+		resp, err = client.Get(fmt.Sprintf("%s/v1/topologies/%s/lookup?chunk=%d&node=0", baseURL2, reg.ID, chunk))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("recovered lookup chunk %d: %v (status %v)", chunk, err, resp.Status)
+		}
+		var lk server.LookupResponse
+		if err := json.NewDecoder(resp.Body).Decode(&lk); err != nil {
+			t.Fatalf("recovered lookup decode: %v", err)
+		}
+		resp.Body.Close()
+		if lk.Version != want.Snap.Version {
+			t.Errorf("lookup chunk %d answered from v%d, want v%d", chunk, lk.Version, want.Snap.Version)
+		}
+		if !lk.FromProducer {
+			holders := want.Snap.Holders[chunk]
+			found := false
+			for _, h := range holders {
+				if h == lk.ServedBy {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("lookup chunk %d served by %d, not in WAL holders %v", chunk, lk.ServedBy, holders)
+			}
+		}
+	}
+
+	// The clock keeps counting where the log left off.
+	resp, err = client.Post(baseURL2+"/v1/topologies/"+reg.ID+"/publish", "application/json", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery publish: %v (status %v)", err, resp.Status)
+	}
+	var pub server.PublishResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pub); err != nil {
+		t.Fatalf("post-recovery publish decode: %v", err)
+	}
+	resp.Body.Close()
+	if pub.Clock != want.Snap.Clock+1 || pub.Version != want.Snap.Version+1 {
+		t.Errorf("post-recovery publish v%d clock %d, want v%d clock %d",
+			pub.Version, pub.Clock, want.Snap.Version+1, want.Snap.Clock+1)
+	}
+
+	if err := cmd2.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("SIGINT: %v", err)
+	}
+	for scanner2.Scan() {
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("recovered daemon exited non-zero: %v", err)
+	}
+}
+
+// TestInspectMode checks -inspect prints a record listing and the
+// folded state without starting a server.
+func TestInspectMode(t *testing.T) {
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+	cmd, scanner, baseURL := startDaemon(t, bin, "-data-dir", dataDir)
+	defer func() { _ = cmd.Process.Kill() }()
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	body, _ := json.Marshal(server.RegisterRequest{Kind: "grid", Rows: 3, Cols: 3})
+	resp, err := client.Post(baseURL+"/v1/topologies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	var reg server.RegisterResponse
+	_ = json.NewDecoder(resp.Body).Decode(&reg)
+	resp.Body.Close()
+	resp, err = client.Post(baseURL+"/v1/topologies/"+reg.ID+"/publish", "application/json", nil)
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	resp.Body.Close()
+	_ = cmd.Process.Signal(os.Interrupt)
+	for scanner.Scan() {
+	}
+	_ = cmd.Wait()
+
+	out, err := exec.Command(bin, "-inspect", "-data-dir", dataDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("inspect: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"WAL entries", "register " + reg.ID, "publish  " + reg.ID, "recovered state:", "clock=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, text)
+		}
+	}
+	// Redacted: the listing must not dump holder sets.
+	if strings.Contains(text, "holders") || strings.Contains(text, "Holders") {
+		t.Errorf("inspect output leaks holder sets:\n%s", text)
+	}
+
+	if out, err := exec.Command(bin, "-inspect").CombinedOutput(); err == nil {
+		t.Errorf("-inspect without -data-dir should fail, got:\n%s", out)
 	}
 }
 

@@ -59,9 +59,11 @@ func asError(err error) *Error {
 	return &Error{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()}
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// writeError records the failure in this server's counters and writes
+// the typed JSON error envelope.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	e := asError(err)
-	stats().Add("errors", 1)
+	s.vars.Add("errors", 1)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(e.Status)
 	_ = json.NewEncoder(w).Encode(struct {

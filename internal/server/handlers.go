@@ -75,16 +75,16 @@ type RegisterResponse struct {
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	topo, kind, err := buildTopology(&req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if topo.NumNodes() > s.opts.MaxNodes {
-		writeError(w, badRequestf("topology has %d nodes, limit is %d", topo.NumNodes(), s.opts.MaxNodes))
+		s.writeError(w, badRequestf("topology has %d nodes, limit is %d", topo.NumNodes(), s.opts.MaxNodes))
 		return
 	}
 	producer := topo.CentralNode()
@@ -92,7 +92,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		producer = *req.Producer
 	}
 	if producer < 0 || producer >= topo.NumNodes() {
-		writeError(w, badRequestf("producer %d out of range [0,%d)", producer, topo.NumNodes()))
+		s.writeError(w, badRequestf("producer %d out of range [0,%d)", producer, topo.NumNodes()))
 		return
 	}
 	capacity := req.Capacity
@@ -100,7 +100,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		capacity = 5
 	}
 	if capacity < 0 {
-		writeError(w, badRequestf("negative capacity %d", capacity))
+		s.writeError(w, badRequestf("negative capacity %d", capacity))
 		return
 	}
 	online, oerr := faircache.NewOnline(topo, producer, &faircache.Options{
@@ -109,23 +109,46 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		FairnessWeight: req.FairnessWeight,
 	})
 	if oerr != nil {
-		writeError(w, oerr)
+		s.writeError(w, oerr)
 		return
 	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		writeError(w, &Error{Status: http.StatusServiceUnavailable, Code: CodeShutdown, Message: "server is shutting down"})
+		s.writeError(w, &Error{Status: http.StatusServiceUnavailable, Code: CodeShutdown, Message: "server is shutting down"})
 		return
 	}
 	s.nextID++
 	id := fmt.Sprintf("t%d", s.nextID)
-	tp := newTopology(id, kind, topo, producer, capacity, online)
+	s.mu.Unlock()
+
+	// Log the registration before the topology becomes visible: its
+	// generator spec and resolved producer/capacity are everything a
+	// restart needs to rebuild the graph deterministically.
+	if jerr := s.journal.append(&WALRecord{
+		Type: WALRegister, ID: id, Kind: kind, Spec: &req,
+		Producer: producer, Capacity: capacity,
+	}, nil); jerr != nil {
+		s.writeError(w, jerr)
+		return
+	}
+
+	tp := newTopology(id, kind, topo, producer, capacity, online, 0, nil)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		tp.stop()
+		// Undo the durable registration so a restart does not resurrect
+		// a topology the client was told failed.
+		_ = s.journal.append(&WALRecord{Type: WALDelete, ID: id}, nil)
+		s.writeError(w, &Error{Status: http.StatusServiceUnavailable, Code: CodeShutdown, Message: "server is shutting down"})
+		return
+	}
 	s.topos[id] = tp
 	s.mu.Unlock()
 
-	stats().Add("registrations", 1)
+	s.vars.Add("registrations", 1)
 	writeJSON(w, http.StatusCreated, RegisterResponse{
 		ID:       id,
 		Kind:     kind,
@@ -197,6 +220,26 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	}{infos})
 }
 
+// handleGetTopology answers GET /v1/topologies/{id} with the same row
+// the list endpoint would show for it.
+func (s *Server) handleGetTopology(w http.ResponseWriter, r *http.Request) {
+	tp, terr := s.lookupTopology(r.PathValue("id"))
+	if terr != nil {
+		s.writeError(w, terr)
+		return
+	}
+	snap := tp.snap.Load()
+	writeJSON(w, http.StatusOK, TopologyInfo{
+		ID:       tp.id,
+		Kind:     tp.kind,
+		Nodes:    tp.topo.NumNodes(),
+		Links:    tp.topo.NumLinks(),
+		Producer: tp.producer,
+		Version:  snap.Version,
+		Chunks:   snap.Chunks,
+	})
+}
+
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -206,10 +249,17 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, notFoundf("unknown topology %q", id))
+		s.writeError(w, notFoundf("unknown topology %q", id))
 		return
 	}
+	// Drain the worker before logging the deletion so any mutation it
+	// was mid-commit on lands in the WAL ahead of the delete record.
 	tp.stop()
+	tp.wg.Wait()
+	if jerr := s.journal.append(&WALRecord{Type: WALDelete, ID: id}, nil); jerr != nil {
+		s.writeError(w, jerr)
+		return
+	}
 	writeJSON(w, http.StatusOK, struct {
 		ID      string `json:"id"`
 		Deleted bool   `json:"deleted"`
@@ -288,24 +338,24 @@ type SolveResponse struct {
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	tp, terr := s.lookupTopology(r.PathValue("id"))
 	if terr != nil {
-		writeError(w, terr)
+		s.writeError(w, terr)
 		return
 	}
 	var req SolveRequest
 	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if req.Chunks == 0 {
 		req.Chunks = 5
 	}
 	if req.Chunks < 1 {
-		writeError(w, badRequestf("chunks must be >= 1, got %d", req.Chunks))
+		s.writeError(w, badRequestf("chunks must be >= 1, got %d", req.Chunks))
 		return
 	}
 	solver, _, aerr := solverFor(req.Algorithm)
 	if aerr != nil {
-		writeError(w, aerr)
+		s.writeError(w, aerr)
 		return
 	}
 	timeout := s.opts.SolveTimeout
@@ -335,16 +385,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		for chunk, nodes := range res.Holders {
 			holders[chunk] = append([]int(nil), nodes...)
 		}
-		snap := tp.commit(&Snapshot{
+		snap := &Snapshot{
+			Version:      tp.version + 1,
 			Source:       "solve:" + string(res.Algorithm),
+			Producer:     tp.producer,
 			Chunks:       req.Chunks,
 			Holders:      holders,
 			Counts:       append([]int(nil), res.Counts...),
 			Clock:        prev.Clock,
 			Solves:       prev.Solves + 1,
 			Publications: prev.Publications,
-		})
-		stats().Add("solves", 1)
+		}
+		// WAL first, snapshot swap second: the record carries the full
+		// committed snapshot, so recovery replays absolute state.
+		if jerr := s.journal.append(&WALRecord{Type: WALSolve, ID: tp.id, Snap: snap},
+			func() { tp.commit(snap) }); jerr != nil {
+			return nil, jerr
+		}
+		s.vars.Add("solves", 1)
 		return &SolveResponse{
 			Version:           snap.Version,
 			Algorithm:         string(res.Algorithm),
@@ -363,7 +421,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -420,13 +478,13 @@ type PublishResponse struct {
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	tp, terr := s.lookupTopology(r.PathValue("id"))
 	if terr != nil {
-		writeError(w, terr)
+		s.writeError(w, terr)
 		return
 	}
 	req := PublishRequest{Count: 1}
 	if r.ContentLength != 0 {
 		if err := decodeJSON(r, &req); err != nil {
-			writeError(w, err)
+			s.writeError(w, err)
 			return
 		}
 		if req.Count == 0 {
@@ -434,7 +492,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if req.Count < 1 || req.Count > s.opts.MaxPublishBatch {
-		writeError(w, badRequestf("count must be in [1,%d], got %d", s.opts.MaxPublishBatch, req.Count))
+		s.writeError(w, badRequestf("count must be in [1,%d], got %d", s.opts.MaxPublishBatch, req.Count))
 		return
 	}
 
@@ -445,8 +503,8 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			stats().Add("publications", 1)
-			stats().Add("evictions", int64(len(pub.Expired)))
+			s.vars.Add("publications", 1)
+			s.vars.Add("evictions", int64(len(pub.Expired)))
 			pubs = append(pubs, PublicationInfo{
 				Chunk:      pub.Chunk,
 				Time:       pub.Time,
@@ -456,15 +514,24 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		}
 		os := tp.online.Snapshot()
 		prev := tp.snap.Load()
-		snap := tp.commit(&Snapshot{
+		snap := &Snapshot{
+			Version:      tp.version + 1,
 			Source:       "publish",
+			Producer:     tp.producer,
 			Chunks:       os.Published,
 			Holders:      os.Holders,
 			Counts:       os.Counts,
 			Clock:        os.Clock,
 			Solves:       prev.Solves,
 			Publications: prev.Publications + len(pubs),
-		})
+		}
+		// The record's Clock is the online system's absolute publication
+		// count, so recovery replays exactly that many arrivals and TTL
+		// expiry falls on the same ticks.
+		if jerr := s.journal.append(&WALRecord{Type: WALPublish, ID: tp.id, Snap: snap, Count: len(pubs)},
+			func() { tp.commit(snap) }); jerr != nil {
+			return nil, jerr
+		}
 		return &PublishResponse{
 			Version:      snap.Version,
 			Clock:        snap.Clock,
@@ -476,7 +543,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -497,36 +564,36 @@ type LookupResponse struct {
 func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	tp, terr := s.lookupTopology(r.PathValue("id"))
 	if terr != nil {
-		writeError(w, terr)
+		s.writeError(w, terr)
 		return
 	}
 	chunk, err := queryInt(r, "chunk")
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	node, err := queryInt(r, "node")
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if node < 0 || node >= tp.topo.NumNodes() {
-		writeError(w, badRequestf("node %d out of range [0,%d)", node, tp.topo.NumNodes()))
+		s.writeError(w, badRequestf("node %d out of range [0,%d)", node, tp.topo.NumNodes()))
 		return
 	}
 	snap := tp.snap.Load()
 	if chunk < 0 || chunk >= snap.Chunks {
-		writeError(w, notFoundf("chunk %d unknown: snapshot v%d knows chunks [0,%d)", chunk, snap.Version, snap.Chunks))
+		s.writeError(w, notFoundf("chunk %d unknown: snapshot v%d knows chunks [0,%d)", chunk, snap.Version, snap.Chunks))
 		return
 	}
 	dist, derr := tp.topo.HopDistances(node)
 	if derr != nil {
-		writeError(w, derr)
+		s.writeError(w, derr)
 		return
 	}
 	holders := snap.Holders[chunk]
 	served, hops, fromProducer := nearestServer(dist, holders, snap.Producer)
-	stats().Add("lookups", 1)
+	s.vars.Add("lookups", 1)
 	writeJSON(w, http.StatusOK, LookupResponse{
 		Version:      snap.Version,
 		Chunk:        chunk,
@@ -584,7 +651,7 @@ type ReportResponse struct {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	tp, terr := s.lookupTopology(r.PathValue("id"))
 	if terr != nil {
-		writeError(w, terr)
+		s.writeError(w, terr)
 		return
 	}
 	snap := tp.snap.Load()
@@ -599,7 +666,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if pf, err := metrics.PercentileFairness(snap.Counts, 75); err == nil {
 		fairness75 = pf
 	}
-	stats().Add("reports", 1)
+	s.vars.Add("reports", 1)
 	writeJSON(w, http.StatusOK, ReportResponse{
 		ID:             tp.id,
 		Kind:           tp.kind,

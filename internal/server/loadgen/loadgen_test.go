@@ -14,7 +14,10 @@ import (
 
 func startService(t *testing.T) (*httptest.Server, string) {
 	t.Helper()
-	srv := server.New(server.Options{})
+	srv, err := server.New(server.Options{})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(func() {
 		ts.Close()

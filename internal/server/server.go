@@ -6,17 +6,24 @@
 // storage curves — are served concurrently from an atomically swapped
 // immutable snapshot of the last committed state.
 //
+// With Options.DataDir set the service is durable: every committed
+// mutation is appended to a write-ahead log (internal/wal) before the
+// snapshot swap, periodic full-state snapshots bound replay time, and
+// New recovers the registry — same topology ids, same versions, same
+// holder sets — from the log on restart.
+//
 // Endpoints:
 //
 //	POST   /v1/topologies              register grid/random/clustered/line/ring/links
 //	GET    /v1/topologies              list registered topologies
+//	GET    /v1/topologies/{id}         one topology's info
 //	DELETE /v1/topologies/{id}         unregister and stop the worker
 //	POST   /v1/topologies/{id}/solve   one-shot placement (appx/dist/hopc/cont/brtf)
 //	POST   /v1/topologies/{id}/publish online chunk arrival(s)
 //	GET    /v1/topologies/{id}/lookup  which node serves chunk n to requester j
 //	GET    /v1/topologies/{id}/report  snapshot + fairness metrics + storage curve
 //	GET    /healthz                    liveness
-//	GET    /debug/vars                 expvar counters and latency sums
+//	GET    /debug/vars                 expvar globals + this server's counters
 //
 // Every error is a typed JSON object {"error":{"code","message"}} with a
 // matching HTTP status.
@@ -24,14 +31,20 @@ package server
 
 import (
 	"expvar"
+	"fmt"
 	"net/http"
+	"reflect"
 	"sort"
 	"sync"
 	"time"
+
+	faircache "repro"
+
+	"repro/internal/wal"
 )
 
 // Options configures a Server. The zero value is ready for production
-// defaults.
+// defaults (in-memory, no durability).
 type Options struct {
 	// SolveTimeout caps the server-side duration of one solve request
 	// (default 30s). A request's own timeoutMs can only shorten it.
@@ -40,6 +53,23 @@ type Options struct {
 	MaxNodes int
 	// MaxPublishBatch caps the count of one publish request (default 64).
 	MaxPublishBatch int
+
+	// DataDir enables durability: the write-ahead log and full-state
+	// snapshots live here and New recovers from them. Empty keeps the
+	// service purely in-memory.
+	DataDir string
+	// Fsync is the WAL sync policy: "always" (default), "interval" or
+	// "never".
+	Fsync string
+	// FsyncInterval is the background flush cadence for Fsync="interval"
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery writes a full-state snapshot and compacts the log
+	// after this many records (default 256; negative disables automatic
+	// snapshots).
+	SnapshotEvery int
+	// MaxSegmentBytes rotates WAL segments at this size (default 4MiB).
+	MaxSegmentBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +82,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxPublishBatch <= 0 {
 		o.MaxPublishBatch = 64
 	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 256
+	}
 	return o
 }
 
@@ -60,9 +93,11 @@ func (o Options) withDefaults() Options {
 // worker; call it after http.Server.Shutdown has drained in-flight
 // requests.
 type Server struct {
-	opts  Options
-	mux   *http.ServeMux
-	start time.Time
+	opts    Options
+	mux     *http.ServeMux
+	start   time.Time
+	vars    *expvar.Map // per-Server counters (not process-global)
+	journal *journal    // nil in in-memory mode
 
 	mu     sync.RWMutex
 	topos  map[string]*topology
@@ -70,24 +105,110 @@ type Server struct {
 	closed bool
 }
 
-// New returns a ready-to-serve placement service.
-func New(opts Options) *Server {
+// New returns a ready-to-serve placement service. With Options.DataDir
+// set it first recovers the registry from the directory's write-ahead
+// log: the topology graphs are rebuilt from their recorded generator
+// specs, online state is replayed publication by publication (the
+// engine is deterministic, so TTL expiry and holder sets come back
+// identical), and the recovered holder sets are verified against the
+// logged committed snapshots.
+func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:  opts.withDefaults(),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
+		vars:  new(expvar.Map).Init(),
 		topos: make(map[string]*topology),
 	}
-	s.mux.HandleFunc("GET /healthz", instrument("healthz", s.handleHealthz))
-	s.mux.Handle("GET /debug/vars", instrument("debug_vars", expvar.Handler().ServeHTTP))
-	s.mux.HandleFunc("POST /v1/topologies", instrument("register", s.handleRegister))
-	s.mux.HandleFunc("GET /v1/topologies", instrument("list", s.handleList))
-	s.mux.HandleFunc("DELETE /v1/topologies/{id}", instrument("delete", s.handleDelete))
-	s.mux.HandleFunc("POST /v1/topologies/{id}/solve", instrument("solve", s.handleSolve))
-	s.mux.HandleFunc("POST /v1/topologies/{id}/publish", instrument("publish", s.handlePublish))
-	s.mux.HandleFunc("GET /v1/topologies/{id}/lookup", instrument("lookup", s.handleLookup))
-	s.mux.HandleFunc("GET /v1/topologies/{id}/report", instrument("report", s.handleReport))
-	return s
+	if s.opts.DataDir != "" {
+		if err := s.openJournal(); err != nil {
+			return nil, err
+		}
+	}
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /debug/vars", s.instrument("debug_vars", s.handleVars))
+	s.mux.HandleFunc("POST /v1/topologies", s.instrument("register", s.handleRegister))
+	s.mux.HandleFunc("GET /v1/topologies", s.instrument("list", s.handleList))
+	s.mux.HandleFunc("GET /v1/topologies/{id}", s.instrument("get", s.handleGetTopology))
+	s.mux.HandleFunc("DELETE /v1/topologies/{id}", s.instrument("delete", s.handleDelete))
+	s.mux.HandleFunc("POST /v1/topologies/{id}/solve", s.instrument("solve", s.handleSolve))
+	s.mux.HandleFunc("POST /v1/topologies/{id}/publish", s.instrument("publish", s.handlePublish))
+	s.mux.HandleFunc("GET /v1/topologies/{id}/lookup", s.instrument("lookup", s.handleLookup))
+	s.mux.HandleFunc("GET /v1/topologies/{id}/report", s.instrument("report", s.handleReport))
+	return s, nil
+}
+
+// openJournal opens (and recovers from) the WAL in opts.DataDir.
+func (s *Server) openJournal() error {
+	policy, err := wal.ParseSyncPolicy(s.opts.Fsync)
+	if err != nil {
+		return err
+	}
+	log, recovered, err := wal.Open(wal.Options{
+		Dir:             s.opts.DataDir,
+		Policy:          policy,
+		Interval:        s.opts.FsyncInterval,
+		MaxSegmentBytes: s.opts.MaxSegmentBytes,
+	})
+	if err != nil {
+		return err
+	}
+	shadow, err := foldWAL(recovered)
+	if err != nil {
+		log.Close()
+		return fmt.Errorf("server: WAL recovery: %w", err)
+	}
+	if err := s.restore(shadow); err != nil {
+		log.Close()
+		return fmt.Errorf("server: WAL recovery: %w", err)
+	}
+	s.journal = &journal{vars: s.vars, log: log, shadow: shadow, every: s.opts.SnapshotEvery}
+	return nil
+}
+
+// restore rebuilds the live registry from recovered WAL state. Replay is
+// deterministic, so re-publishing Clock arrivals reproduces the online
+// system (storage, expiry clocks, chunk ids) exactly; the recovered
+// holder sets are checked against the last logged committed snapshot.
+func (s *Server) restore(shadow *walShadow) error {
+	st := shadow.state()
+	for i := range st.Topologies {
+		ts := &st.Topologies[i]
+		topo, kind, err := buildTopology(&ts.Spec)
+		if err != nil {
+			return fmt.Errorf("topology %s: rebuilding %q graph: %w", ts.ID, ts.Kind, err)
+		}
+		online, err := faircache.NewOnline(topo, ts.Producer, &faircache.Options{
+			Capacity:       ts.Capacity,
+			ChunkTTL:       ts.Spec.ChunkTTL,
+			FairnessWeight: ts.Spec.FairnessWeight,
+		})
+		if err != nil {
+			return fmt.Errorf("topology %s: rebuilding online system: %w", ts.ID, err)
+		}
+		for c := 0; c < ts.Clock; c++ {
+			if _, err := online.Publish(); err != nil {
+				return fmt.Errorf("topology %s: replaying publication %d/%d: %w", ts.ID, c+1, ts.Clock, err)
+			}
+		}
+		if ts.Snap != nil && ts.Snap.Source == "publish" {
+			os := online.Snapshot()
+			if os.Clock != ts.Snap.Clock || !reflect.DeepEqual(os.Holders, ts.Snap.Holders) ||
+				!reflect.DeepEqual(os.Counts, ts.Snap.Counts) {
+				return fmt.Errorf("topology %s: replayed online state diverges from the logged snapshot (clock %d vs %d)",
+					ts.ID, os.Clock, ts.Snap.Clock)
+			}
+		}
+		version := 1
+		if ts.Snap != nil {
+			version = ts.Snap.Version
+		}
+		tp := newTopology(ts.ID, kind, topo, ts.Producer, ts.Capacity, online, version, ts.Snap)
+		s.topos[ts.ID] = tp
+	}
+	s.nextID = shadow.nextID
+	s.vars.Add("recovered_topologies", int64(len(st.Topologies)))
+	return nil
 }
 
 // ServeHTTP dispatches to the service mux.
@@ -95,9 +216,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close unregisters every topology and stops its worker. In-flight
-// mutations finish; queued ones fail with a "gone" error. Safe to call
-// more than once.
+// Close unregisters every topology and stops its worker, then closes the
+// write-ahead log (when one is open). In-flight mutations finish; queued
+// ones fail with a "gone" error. Safe to call more than once.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -111,6 +232,7 @@ func (s *Server) Close() {
 		tp.stop()
 		tp.wg.Wait()
 	}
+	_ = s.journal.close()
 }
 
 // lookupTopology resolves a topology id under the read lock.
@@ -136,29 +258,33 @@ func (s *Server) ids() []string {
 	return out
 }
 
-// stats returns the process-wide expvar map for the service, creating
-// and registering it on first use. Counters are cumulative across every
-// Server in the process (they back GET /debug/vars, which expvar serves
-// process-wide anyway).
-func stats() *expvar.Map {
-	statsOnce.Do(func() { statsMap = expvar.NewMap("faircached") })
-	return statsMap
-}
-
-var (
-	statsOnce sync.Once
-	statsMap  *expvar.Map
-)
-
 // instrument wraps a handler with the request counter and the
-// per-endpoint request count and latency sum (microseconds).
-func instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+// per-endpoint request count and latency sum (microseconds), recorded in
+// this Server's own expvar map so embedded instances and tests never
+// share counters.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		st := stats()
-		st.Add("requests", 1)
-		st.Add("requests_"+name, 1)
+		s.vars.Add("requests", 1)
+		s.vars.Add("requests_"+name, 1)
 		h(w, r)
-		st.Add("latency_us_"+name, time.Since(start).Microseconds())
+		s.vars.Add("latency_us_"+name, time.Since(start).Microseconds())
 	}
+}
+
+// handleVars serves the same shape expvar.Handler does — every published
+// global variable — plus this server's "faircached" counter map, which
+// is deliberately NOT registered in the process-global expvar namespace
+// (registration there is permanent and would bleed counters across
+// Server instances).
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	expvar.Do(func(kv expvar.KeyValue) {
+		if kv.Key == "faircached" {
+			return // never collide with the per-server map below
+		}
+		fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value.String())
+	})
+	fmt.Fprintf(w, "%q: %s\n}\n", "faircached", s.vars.String())
 }

@@ -19,7 +19,10 @@ type testClient struct {
 
 func newTestClient(t *testing.T, opts Options) (*testClient, *Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()

@@ -69,7 +69,10 @@ type topology struct {
 	version int
 }
 
-func newTopology(id, kind string, topo *faircache.Topology, producer, capacity int, online *faircache.OnlineSystem) *topology {
+// newTopology builds a topology and starts its worker. version and snap
+// restore recovered state; version <= 1 with a nil snap is a fresh
+// registration (version 1, empty register snapshot).
+func newTopology(id, kind string, topo *faircache.Topology, producer, capacity int, online *faircache.OnlineSystem, version int, snap *Snapshot) *topology {
 	tp := &topology{
 		id:       id,
 		kind:     kind,
@@ -80,14 +83,20 @@ func newTopology(id, kind string, topo *faircache.Topology, producer, capacity i
 		quit:     make(chan struct{}),
 		online:   online,
 	}
-	tp.version = 1
-	tp.snap.Store(&Snapshot{
-		Version:  1,
-		Source:   "register",
-		Producer: producer,
-		Holders:  map[int][]int{},
-		Counts:   make([]int, topo.NumNodes()),
-	})
+	if snap == nil {
+		snap = &Snapshot{
+			Version:  1,
+			Source:   "register",
+			Producer: producer,
+			Holders:  map[int][]int{},
+			Counts:   make([]int, topo.NumNodes()),
+		}
+	}
+	if version < 1 {
+		version = 1
+	}
+	tp.version = version
+	tp.snap.Store(snap)
 	tp.wg.Add(1)
 	go tp.run()
 	return tp

@@ -1,0 +1,59 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzDecodeRecord feeds arbitrary bytes to the record decoder. The
+// contract under fuzzing: never panic, and either decode cleanly, report
+// a clean end (io.EOF on empty input), or return a typed corruption
+// error matching ErrCorrupt. A successful decode must re-encode to the
+// exact consumed frame.
+func FuzzDecodeRecord(f *testing.F) {
+	valid, _ := EncodeRecord([]byte("seed-record-payload"))
+	empty, _ := EncodeRecord(nil)
+	f.Add(valid)
+	f.Add(empty)
+	f.Add(valid[:len(valid)-3]) // truncated (torn) record
+	flipped := append([]byte(nil), valid...)
+	flipped[headerSize+1] ^= 0x01 // bit-flipped payload
+	f.Add(flipped)
+	badLen := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badLen[0:4], MaxRecordBytes+1) // absurd length field
+	f.Add(badLen)
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add(append(append([]byte(nil), valid...), valid...)) // two records back to back
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for {
+			payload, n, err := DecodeRecord(rest)
+			if err != nil {
+				if len(rest) == 0 {
+					if err != io.EOF {
+						t.Fatalf("empty input returned %v, want io.EOF", err)
+					}
+				} else if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("undecodable input returned untyped error %v", err)
+				}
+				return
+			}
+			if n < headerSize || n > len(rest) {
+				t.Fatalf("decoded frame size %d out of range (buffer %d)", n, len(rest))
+			}
+			frame, eerr := EncodeRecord(payload)
+			if eerr != nil {
+				t.Fatalf("re-encoding decoded payload failed: %v", eerr)
+			}
+			if !bytes.Equal(frame, rest[:n]) {
+				t.Fatalf("re-encoded frame differs from consumed bytes")
+			}
+			rest = rest[n:]
+		}
+	})
+}
