@@ -11,12 +11,47 @@
 package faircache_test
 
 import (
+	"context"
 	"testing"
 
 	faircache "repro"
 
 	"repro/internal/eval"
 )
+
+// benchSolve runs the engine on the paper's large-grid regime (15×15
+// nodes, 64 chunks) at a fixed worker count. Workers=1 is the sequential
+// reference path; Workers=0 sizes the pool to GOMAXPROCS. Comparing the
+// two benchmarks measures the parallel engine's speedup on multi-core
+// hosts (they coincide on a single-core runner).
+func benchSolve(b *testing.B, workers int) {
+	topo, err := faircache.Grid(15, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := faircache.Request{
+		Producer: 9,
+		Chunks:   64,
+		Options:  &faircache.Options{Capacity: 3, Workers: workers},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.Solve(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Gini(), "gini")
+		}
+	}
+}
+
+func BenchmarkSolveSequential(b *testing.B) { benchSolve(b, 1) }
+func BenchmarkSolveParallel(b *testing.B)   { benchSolve(b, 0) }
 
 // benchScenario mirrors the paper's defaults with a budgeted exact search
 // so Brtf-dependent figures stay tractable inside a benchmark loop.

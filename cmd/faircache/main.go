@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,13 +39,18 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*algName, *grid, *randomN, *seed, *producer, *chunks, *capacity, *hops, *lambda, *budget, *asJSON); err != nil {
+	// Ctrl-C cancels the context and the engine aborts mid-solve instead
+	// of running a doomed placement to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, *algName, *grid, *randomN, *seed, *producer, *chunks, *capacity, *hops, *lambda, *budget, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "faircache:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algName, grid string, randomN int, seed int64, producer, chunks, capacity, hops int, lambda float64, budget int, asJSON bool) error {
+func run(ctx context.Context, algName, grid string, randomN int, seed int64, producer, chunks, capacity, hops int, lambda float64, budget int, asJSON bool) error {
 	topo, err := buildTopology(grid, randomN, seed)
 	if err != nil {
 		return err
@@ -57,28 +64,25 @@ func run(algName, grid string, randomN int, seed int64, producer, chunks, capaci
 			producer = topo.NumNodes() / 2
 		}
 	}
-	opts := &faircache.Options{
-		Capacity:     capacity,
-		HopLimit:     hops,
-		Lambda:       lambda,
-		SearchBudget: budget,
+	alg, err := parseAlgorithm(algName)
+	if err != nil {
+		return err
 	}
-
-	var res *faircache.Result
-	switch strings.ToLower(algName) {
-	case "appx":
-		res, err = faircache.Approximate(topo, producer, chunks, opts)
-	case "dist":
-		res, err = faircache.Distribute(topo, producer, chunks, opts)
-	case "hopc":
-		res, err = faircache.HopCountBaseline(topo, producer, chunks, opts)
-	case "cont":
-		res, err = faircache.ContentionBaseline(topo, producer, chunks, opts)
-	case "brtf":
-		res, err = faircache.Optimal(topo, producer, chunks, opts)
-	default:
-		return fmt.Errorf("unknown algorithm %q", algName)
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		return err
 	}
+	res, err := solver.Solve(ctx, faircache.Request{
+		Producer:  producer,
+		Chunks:    chunks,
+		Algorithm: alg,
+		Options: &faircache.Options{
+			Capacity:     capacity,
+			HopLimit:     hops,
+			Lambda:       lambda,
+			SearchBudget: budget,
+		},
+	})
 	if err != nil {
 		return err
 	}
@@ -86,6 +90,23 @@ func run(algName, grid string, randomN int, seed int64, producer, chunks, capaci
 		return reportJSON(res, topo)
 	}
 	return report(res, topo)
+}
+
+func parseAlgorithm(name string) (faircache.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "appx":
+		return faircache.AlgorithmApprox, nil
+	case "dist":
+		return faircache.AlgorithmDistributed, nil
+	case "hopc":
+		return faircache.AlgorithmHopCount, nil
+	case "cont":
+		return faircache.AlgorithmContention, nil
+	case "brtf":
+		return faircache.AlgorithmOptimal, nil
+	default:
+		return "", fmt.Errorf("unknown algorithm %q", name)
+	}
 }
 
 // jsonReport is the machine-readable result schema of the -json flag.

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+
+	faircache "repro"
+)
 
 func TestBuildTopology(t *testing.T) {
 	topo, err := buildTopology("6x6", 0, 1)
@@ -25,17 +31,33 @@ func TestBuildTopology(t *testing.T) {
 }
 
 func TestRunUnknownAlgorithm(t *testing.T) {
-	if err := run("nope", "3x3", 0, 1, -1, 1, 5, 2, 0, 0, false); err == nil {
+	if err := run(context.Background(), "nope", "3x3", 0, 1, -1, 1, 5, 2, 0, 0, false); err == nil {
 		t.Error("unknown algorithm: want error")
 	}
 }
 
 func TestRunSmokeTextAndJSON(t *testing.T) {
 	// Output goes to stdout; only success/failure is asserted here.
-	if err := run("appx", "4x4", 0, 1, -1, 2, 5, 2, 0, 0, false); err != nil {
+	if err := run(context.Background(), "appx", "4x4", 0, 1, -1, 2, 5, 2, 0, 0, false); err != nil {
 		t.Errorf("text run: %v", err)
 	}
-	if err := run("dist", "4x4", 0, 1, -1, 1, 5, 2, 0, 0, true); err != nil {
+	if err := run(context.Background(), "dist", "4x4", 0, 1, -1, 1, 5, 2, 0, 0, true); err != nil {
 		t.Errorf("json run: %v", err)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, "appx", "4x4", 0, 1, -1, 2, 5, 2, 0, 0, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	alg, err := parseAlgorithm("BRTF")
+	if err != nil || alg != faircache.AlgorithmOptimal {
+		t.Errorf("parseAlgorithm(BRTF) = %v, %v", alg, err)
 	}
 }

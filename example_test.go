@@ -1,11 +1,37 @@
 package faircache_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	faircache "repro"
 )
+
+// ExampleSolver_Solve is the context-first entry point: bind a topology
+// once, then solve any algorithm with cancellation and deadline support.
+func ExampleSolver_Solve() {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background(), faircache.Request{
+		Producer: 9,
+		Chunks:   5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chunks placed: %d\n", res.Chunks)
+	fmt.Printf("load is fair (gini < 0.4): %v\n", res.Gini() < 0.4)
+	// Output:
+	// chunks placed: 5
+	// load is fair (gini < 0.4): true
+}
 
 // ExampleApproximate places the paper's 6×6-grid scenario and reports the
 // headline fairness metrics.

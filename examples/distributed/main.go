@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -25,6 +26,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 	const (
 		producer = 9
 		chunks   = 5
@@ -33,7 +39,12 @@ func main() {
 	fmt.Println("distributed fair caching on a 6x6 grid, 5 chunks, producer 9")
 	fmt.Printf("\n%-4s %10s %10s %10s %10s\n", "k", "caches", "gini", "cost", "messages")
 	for k := 1; k <= 4; k++ {
-		res, err := faircache.Distribute(topo, producer, chunks, &faircache.Options{HopLimit: k})
+		res, err := solver.Solve(ctx, faircache.Request{
+			Producer:  producer,
+			Chunks:    chunks,
+			Algorithm: faircache.AlgorithmDistributed,
+			Options:   &faircache.Options{HopLimit: k},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,7 +61,11 @@ func main() {
 	}
 
 	// Detailed message accounting for the paper's default k = 2.
-	res, err := faircache.Distribute(topo, producer, chunks, nil)
+	res, err := solver.Solve(ctx, faircache.Request{
+		Producer:  producer,
+		Chunks:    chunks,
+		Algorithm: faircache.AlgorithmDistributed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,8 +13,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	faircache "repro"
 )
@@ -32,29 +34,34 @@ func main() {
 	fmt.Printf("festival mesh: %d phones, %d radio links, producer at node %d\n\n",
 		topo.NumNodes(), topo.NumLinks(), producer)
 
+	// One Solver serves all four algorithm runs; the shared context puts
+	// a ceiling on the whole comparison.
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	const chunks = 5
 	type entry struct {
 		name string
-		run  func() (*faircache.Result, error)
+		alg  faircache.Algorithm
 	}
 	runs := []entry{
-		{"fair approximation (Appx)", func() (*faircache.Result, error) {
-			return faircache.Approximate(topo, producer, chunks, nil)
-		}},
-		{"fair distributed (Dist)", func() (*faircache.Result, error) {
-			return faircache.Distribute(topo, producer, chunks, nil)
-		}},
-		{"hop-count baseline (Hopc)", func() (*faircache.Result, error) {
-			return faircache.HopCountBaseline(topo, producer, chunks, nil)
-		}},
-		{"contention baseline (Cont)", func() (*faircache.Result, error) {
-			return faircache.ContentionBaseline(topo, producer, chunks, nil)
-		}},
+		{"fair approximation (Appx)", faircache.AlgorithmApprox},
+		{"fair distributed (Dist)", faircache.AlgorithmDistributed},
+		{"hop-count baseline (Hopc)", faircache.AlgorithmHopCount},
+		{"contention baseline (Cont)", faircache.AlgorithmContention},
 	}
 
 	fmt.Printf("%-28s %8s %8s %10s %12s\n", "algorithm", "phones", "gini", "max load", "contention")
 	for _, e := range runs {
-		res, err := e.run()
+		res, err := solver.Solve(ctx, faircache.Request{
+			Producer:  producer,
+			Chunks:    chunks,
+			Algorithm: e.alg,
+		})
 		if err != nil {
 			log.Fatalf("%s: %v", e.name, err)
 		}

@@ -13,8 +13,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	faircache "repro"
 )
@@ -35,9 +37,14 @@ func main() {
 	fmt.Println("online fair caching: 30 publications, capacity 4, TTL 4")
 	fmt.Printf("\n%-6s %-8s %-22s %s\n", "time", "chunk", "cached on", "expired")
 
+	// Each publication is one cancellable placement: a deployment would
+	// attach its request deadline here.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	tally := make([]int, topo.NumNodes())
 	for i := 0; i < 30; i++ {
-		pub, err := sys.Publish()
+		pub, err := sys.PublishCtx(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

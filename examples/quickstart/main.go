@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,14 @@ func main() {
 		producer = 9
 		chunks   = 5
 	)
-	result, err := faircache.Approximate(topo, producer, chunks, nil)
+	// A Solver binds the topology once; Solve takes a context, so a
+	// real deployment can attach deadlines or cancellation.
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	result, err := solver.Solve(ctx, faircache.Request{Producer: producer, Chunks: chunks})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +68,12 @@ func main() {
 
 	// Compare with the hop-count baseline: much lower fairness, higher
 	// contention, because it concentrates every chunk on the same nodes.
-	hop, err := faircache.HopCountBaseline(topo, producer, chunks, nil)
+	// The same solver answers any algorithm — just change the request.
+	hop, err := solver.Solve(ctx, faircache.Request{
+		Producer:  producer,
+		Chunks:    chunks,
+		Algorithm: faircache.AlgorithmHopCount,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,11 +29,23 @@ func main() {
 	fmt.Printf("vehicular mesh: %d nodes, %d links, road-side producer %d\n\n",
 		topo.NumNodes(), topo.NumLinks(), producer)
 
+	// One Solver answers the whole sweep, reusing the topology's
+	// shortest-path structure between runs.
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	// Capacity 3 chunks per vehicle; the data item grows 2 -> 8 chunks.
 	opts := &faircache.Options{Capacity: 3}
 	fmt.Printf("%-8s %14s %14s %12s %8s\n", "chunks", "Appx cost", "Cont cost", "Appx copies", "gini")
 	for chunks := 2; chunks <= 8; chunks += 2 {
-		appx, err := faircache.Approximate(topo, producer, chunks, opts)
+		appx, err := solver.Solve(ctx, faircache.Request{
+			Producer: producer,
+			Chunks:   chunks,
+			Options:  opts,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +53,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cont, err := faircache.ContentionBaseline(topo, producer, chunks, opts)
+		cont, err := solver.Solve(ctx, faircache.Request{
+			Producer:  producer,
+			Chunks:    chunks,
+			Algorithm: faircache.AlgorithmContention,
+			Options:   opts,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

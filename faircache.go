@@ -31,16 +31,13 @@
 package faircache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
-	"repro/internal/baseline"
 	"repro/internal/cache"
-	"repro/internal/core"
-	"repro/internal/dist"
-	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 )
@@ -222,6 +219,17 @@ type Options struct {
 	// ImproveSteiner applies key-path local search to the centralized
 	// algorithm's dissemination trees after the MST 2-approximation.
 	ImproveSteiner bool
+	// Workers sizes the worker pool the engine fans independent inner
+	// work out over (contention matrix rows, dual-growth tick phases,
+	// per-terminal shortest-path trees). 0 uses GOMAXPROCS; 1 or less
+	// runs the sequential reference path. Placements are byte-identical
+	// at any worker count.
+	Workers int
+	// ChunkStarted, when non-nil, is invoked with the chunk id at the
+	// start of each per-chunk iteration of the centralized algorithm —
+	// an observability hook for progress reporting and cancellation
+	// tests. It runs on the solving goroutine; keep it fast.
+	ChunkStarted func(chunk int)
 }
 
 // Algorithm identifies a placement algorithm in results and reports.
@@ -297,120 +305,69 @@ func (o *Options) withDefaults() Options {
 	out.ChunkTTL = o.ChunkTTL
 	out.GreedyConFL = o.GreedyConFL
 	out.ImproveSteiner = o.ImproveSteiner
+	out.Workers = o.Workers
+	out.ChunkStarted = o.ChunkStarted
 	return out
+}
+
+// legacySolve adapts the deprecated positional-argument entry points onto
+// the Solver API with a background context.
+func legacySolve(t *Topology, producer, chunks int, alg Algorithm, opts *Options) (*Result, error) {
+	s, err := NewSolver(t)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(context.Background(), Request{
+		Producer:  producer,
+		Chunks:    chunks,
+		Algorithm: alg,
+		Options:   opts,
+	})
 }
 
 // Approximate runs the paper's centralized approximation algorithm
 // (Algorithm 1), placing chunk ids 0..chunks-1.
+//
+// Deprecated: use NewSolver and [Solver.Solve] with AlgorithmApprox — the
+// Solver API takes a context (cancellation, deadlines) and reuses
+// topology-dependent state across solves. This wrapper is equivalent to a
+// Solve with context.Background().
 func Approximate(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
-	o := opts.withDefaults()
-	coreOpts := core.DefaultOptions()
-	coreOpts.FairnessWeight = o.FairnessWeight
-	coreOpts.BatteryWeight = o.BatteryWeight
-	if o.GreedyConFL {
-		coreOpts.Strategy = core.Greedy
-	}
-	coreOpts.ImproveSteiner = o.ImproveSteiner
-	if o.AlphaStep > 0 {
-		coreOpts.ConFL.AlphaStep = o.AlphaStep
-	}
-	if o.GammaStep > 0 {
-		coreOpts.ConFL.GammaStep = o.GammaStep
-	}
-	if o.SpanQuorum > 0 {
-		coreOpts.ConFL.SpanQuorum = o.SpanQuorum
-	}
-	solver, err := core.New(t.g, coreOpts)
-	if err != nil {
-		return nil, fmt.Errorf("faircache: %w", err)
-	}
-	st := newState(t, o)
-	base := st.Clone()
-	p, err := solver.Place(producer, chunks, st)
-	if err != nil {
-		return nil, fmt.Errorf("faircache: %w", err)
-	}
-	return newResult(t, AlgorithmApprox, producer, chunks, o.Capacity, p.CacheNodes(), st, base, metrics.AccessCostNearest), nil
+	return legacySolve(t, producer, chunks, AlgorithmApprox, opts)
 }
 
 // Distribute runs the paper's distributed protocol (Algorithm 2) on a
 // deterministic message-round simulator.
+//
+// Deprecated: use NewSolver and [Solver.Solve] with AlgorithmDistributed.
 func Distribute(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
-	o := opts.withDefaults()
-	distOpts := dist.DefaultOptions()
-	distOpts.K = o.HopLimit
-	distOpts.FairnessWeight = o.FairnessWeight
-	distOpts.BatteryWeight = o.BatteryWeight
-	if o.AlphaStep > 0 {
-		distOpts.AlphaStep = o.AlphaStep
-	}
-	if o.GammaStep > 0 {
-		distOpts.GammaStep = o.GammaStep
-	}
-	if o.SpanQuorum > 0 {
-		distOpts.SpanQuorum = o.SpanQuorum
-	}
-	protocol, err := dist.New(t.g, distOpts)
-	if err != nil {
-		return nil, fmt.Errorf("faircache: %w", err)
-	}
-	st := newState(t, o)
-	base := st.Clone()
-	p, err := protocol.PlaceChunks(producer, chunks, st)
-	if err != nil {
-		return nil, fmt.Errorf("faircache: %w", err)
-	}
-	res := newResult(t, AlgorithmDistributed, producer, chunks, o.Capacity, p.CacheNodes(), st, base, metrics.AccessCostNearest)
-	res.Messages = p.MessagesByKind()
-	return res, nil
+	return legacySolve(t, producer, chunks, AlgorithmDistributed, opts)
 }
 
 // HopCountBaseline runs the hop-count greedy baseline of Nuggehalli et
 // al. [13] with the paper's multi-item extension.
+//
+// Deprecated: use NewSolver and [Solver.Solve] with AlgorithmHopCount.
 func HopCountBaseline(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
-	return runBaseline(t, producer, chunks, opts, baseline.HopCount, AlgorithmHopCount, metrics.AccessHopNearest)
+	return legacySolve(t, producer, chunks, AlgorithmHopCount, opts)
 }
 
 // ContentionBaseline runs the contention-aware greedy baseline of Sung et
 // al. [4] with the paper's multi-item extension.
+//
+// Deprecated: use NewSolver and [Solver.Solve] with AlgorithmContention.
 func ContentionBaseline(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
-	return runBaseline(t, producer, chunks, opts, baseline.Contention, AlgorithmContention, metrics.AccessTopologyNearest)
-}
-
-func runBaseline(t *Topology, producer, chunks int, opts *Options, alg baseline.Algorithm, name Algorithm, strategy metrics.AccessStrategy) (*Result, error) {
-	o := opts.withDefaults()
-	lambda := o.Lambda
-	if lambda <= 0 {
-		lambda = baseline.RecommendedLambda(alg, t.NumNodes())
-	}
-	st := newState(t, o)
-	base := st.Clone()
-	p, err := baseline.PlaceChunks(t.g, producer, chunks, st, alg, lambda)
-	if err != nil {
-		return nil, fmt.Errorf("faircache: %w", err)
-	}
-	return newResult(t, name, producer, chunks, o.Capacity, p.Holders, st, base, strategy), nil
+	return legacySolve(t, producer, chunks, AlgorithmContention, opts)
 }
 
 // Optimal runs the exact per-chunk branch-and-bound solver — the paper's
 // brute-force reference. Practical only on small networks; set
 // Options.SearchBudget to bound the search (the result then reports
 // ProvenOptimal = false when the budget was hit).
+//
+// Deprecated: use NewSolver and [Solver.Solve] with AlgorithmOptimal.
 func Optimal(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
-	o := opts.withDefaults()
-	exOpts := exact.DefaultOptions()
-	exOpts.FairnessWeight = o.FairnessWeight
-	exOpts.NodeBudget = o.SearchBudget
-	exOpts.MaxSubsetSize = o.SearchWidth
-	st := newState(t, o)
-	base := st.Clone()
-	p, err := exact.PlaceChunks(t.g, producer, chunks, st, exOpts)
-	if err != nil {
-		return nil, fmt.Errorf("faircache: %w", err)
-	}
-	res := newResult(t, AlgorithmOptimal, producer, chunks, o.Capacity, p.CacheNodes(), st, base, metrics.AccessCostNearest)
-	res.ProvenOptimal = p.Optimal()
-	return res, nil
+	return legacySolve(t, producer, chunks, AlgorithmOptimal, opts)
 }
 
 // newState builds the initial cache state for a run, applying battery

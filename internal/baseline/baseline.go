@@ -15,6 +15,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/contention"
 	"repro/internal/graph"
+	"repro/internal/pool"
 )
 
 // Algorithm selects the delay metric of the greedy placement.
@@ -86,7 +88,15 @@ var (
 // and stops when no addition improves the total. The returned set is in
 // selection order and never contains the producer.
 func SelectNodes(g *graph.Graph, producer int, alg Algorithm, lambda float64) ([]int, error) {
-	dist, err := distanceMatrix(g, alg)
+	return SelectNodesCtx(context.Background(), g, producer, alg, lambda, nil)
+}
+
+// SelectNodesCtx is SelectNodes with cancellation (checked once per greedy
+// round) and with the distance matrix and per-candidate cost scans fanned
+// out over p. Candidate costs land in per-node slots and the arg-min scan
+// stays sequential, so the selection is identical at any pool width.
+func SelectNodesCtx(ctx context.Context, g *graph.Graph, producer int, alg Algorithm, lambda float64, p *pool.Pool) ([]int, error) {
+	dist, err := distanceMatrixCtx(ctx, g, alg, p)
 	if err != nil {
 		return nil, err
 	}
@@ -110,20 +120,27 @@ func SelectNodes(g *graph.Graph, producer int, alg Algorithm, lambda float64) ([
 	}
 
 	var selected []int
+	costs := make([]float64, n)
 	current := total(best) + lambda*float64(len(selected))
 	for {
-		bestNode := -1
-		bestCost := current
-		for v := 0; v < n; v++ {
+		err := p.ForEach(ctx, n, func(v int) {
+			costs[v] = math.Inf(1)
 			if chosen[v] {
-				continue
+				return
 			}
 			sum := 0.0
 			for j := 0; j < n; j++ {
 				sum += math.Min(best[j], dist[v][j])
 			}
-			cost := sum + lambda*float64(len(selected)+1)
-			if cost < bestCost-1e-12 {
+			costs[v] = sum + lambda*float64(len(selected)+1)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("baseline: selection interrupted: %w", err)
+		}
+		bestNode := -1
+		bestCost := current
+		for v := 0; v < n; v++ {
+			if cost := costs[v]; cost < bestCost-1e-12 {
 				bestCost, bestNode = cost, v
 			}
 		}
@@ -149,11 +166,15 @@ func SelectNodes(g *graph.Graph, producer int, alg Algorithm, lambda float64) ([
 	return selected, nil
 }
 
-// distanceMatrix evaluates the algorithm's delay metric on the topology.
-func distanceMatrix(g *graph.Graph, alg Algorithm) ([][]float64, error) {
+// distanceMatrixCtx evaluates the algorithm's delay metric on the
+// topology, with the per-source passes spread over p.
+func distanceMatrixCtx(ctx context.Context, g *graph.Graph, alg Algorithm, p *pool.Pool) ([][]float64, error) {
 	switch alg {
 	case HopCount:
-		hops := g.AllPairsHops()
+		hops, err := g.AllPairsHopsCtx(ctx, p)
+		if err != nil {
+			return nil, err
+		}
 		dist := make([][]float64, len(hops))
 		for i, row := range hops {
 			dist[i] = make([]float64, len(row))
@@ -169,7 +190,11 @@ func distanceMatrix(g *graph.Graph, alg Algorithm) ([][]float64, error) {
 	case Contention:
 		// Empty state: the baseline's contention metric is topology-only.
 		st := cache.NewState(g.NumNodes(), 1)
-		return contention.ComputeCosts(g, st).C, nil
+		costs, err := contention.ComputeCostsCtx(ctx, g, st, nil, p)
+		if err != nil {
+			return nil, err
+		}
+		return costs.C, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadAlgorithm, int(alg))
 	}
@@ -223,6 +248,13 @@ type Placement struct {
 // selected set until it is full, then a new set is selected from the
 // largest connected component of the unchosen remainder. st is mutated.
 func PlaceChunks(g *graph.Graph, producer, chunks int, st *cache.State, alg Algorithm, lambda float64) (*Placement, error) {
+	return PlaceChunksCtx(context.Background(), g, producer, chunks, st, alg, lambda, nil)
+}
+
+// PlaceChunksCtx is PlaceChunks with cancellation checked before every
+// chunk and inside each set-selection round; p parallelises the rounds'
+// distance matrices and candidate scans (see SelectNodesCtx).
+func PlaceChunksCtx(ctx context.Context, g *graph.Graph, producer, chunks int, st *cache.State, alg Algorithm, lambda float64, pl *pool.Pool) (*Placement, error) {
 	if producer < 0 || producer >= g.NumNodes() {
 		return nil, fmt.Errorf("baseline: producer %d out of range [0,%d)", producer, g.NumNodes())
 	}
@@ -243,8 +275,11 @@ func PlaceChunks(g *graph.Graph, producer, chunks int, st *cache.State, alg Algo
 
 	var curSet []int
 	for n := 0; n < chunks; n++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("baseline: chunk %d: %w", n, err)
+		}
 		if !hasVacancy(st, curSet) {
-			next, err := nextSet(g, producer, st, used, alg, lambda, len(p.Rounds) == 0)
+			next, err := nextSet(ctx, g, producer, st, used, alg, lambda, len(p.Rounds) == 0, pl)
 			if err != nil {
 				return nil, err
 			}
@@ -292,9 +327,9 @@ func hasVacancy(st *cache.State, set []int) bool {
 // nextSet selects the next caching set. The first round runs on the whole
 // graph with the producer as a free facility; later rounds run on the
 // largest connected component of the unchosen remainder.
-func nextSet(g *graph.Graph, producer int, st *cache.State, used []bool, alg Algorithm, lambda float64, firstRound bool) ([]int, error) {
+func nextSet(ctx context.Context, g *graph.Graph, producer int, st *cache.State, used []bool, alg Algorithm, lambda float64, firstRound bool, pl *pool.Pool) ([]int, error) {
 	if firstRound {
-		sel, err := SelectNodes(g, producer, alg, lambda)
+		sel, err := SelectNodesCtx(ctx, g, producer, alg, lambda, pl)
 		if err != nil {
 			return nil, err
 		}
@@ -315,7 +350,7 @@ func nextSet(g *graph.Graph, producer int, st *cache.State, used []bool, alg Alg
 		return nil, nil
 	}
 	compGraph, compOrig := sub.InducedSubgraph(comp)
-	sel, err := SelectNodes(compGraph, -1, alg, lambda)
+	sel, err := SelectNodesCtx(ctx, compGraph, -1, alg, lambda, pl)
 	if err != nil {
 		return nil, err
 	}

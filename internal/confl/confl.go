@@ -13,10 +13,13 @@
 package confl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/pool"
 )
 
 // Instance is a single-chunk ConFL instance over nodes 0..N-1.
@@ -53,6 +56,11 @@ type Options struct {
 	// MaxIterations caps the dual-growth loop as a safety net; 0 derives
 	// the paper's bound max(c_ij)/U_α (plus slack) automatically.
 	MaxIterations int
+	// Pool fans the per-demand and per-candidate tick phases out over its
+	// workers. nil (or a single-worker pool) runs the sequential reference
+	// path; results are byte-identical either way because every parallel
+	// item writes only its own row or slot.
+	Pool *pool.Pool
 }
 
 // DefaultOptions returns the parameter set used throughout the evaluation,
@@ -101,10 +109,21 @@ type solver struct {
 	alpha  []float64
 	// gamma[i][j] is demand j's relay (SPAN) bid toward candidate i.
 	gamma [][]float64
+	// paidBuf caches Σ_j β_ij per candidate for one tick (α is fixed once
+	// the raise phase ends, so the totals can be precomputed in parallel).
+	paidBuf []float64
 }
 
 // Solve runs the dual-growth process until every demand is frozen.
 func Solve(inst Instance, opts Options) (*Solution, error) {
+	return SolveCtx(context.Background(), inst, opts)
+}
+
+// SolveCtx runs the dual-growth process until every demand is frozen,
+// checking ctx between ticks (and inside the parallel tick phases when
+// opts.Pool is set). On cancellation it returns ctx.Err() wrapped so that
+// errors.Is(err, context.Canceled/DeadlineExceeded) holds.
+func SolveCtx(ctx context.Context, inst Instance, opts Options) (*Solution, error) {
 	if err := validate(inst); err != nil {
 		return nil, err
 	}
@@ -135,7 +154,9 @@ func Solve(inst Instance, opts Options) (*Solution, error) {
 		if iter >= maxIter {
 			return nil, fmt.Errorf("%w after %d iterations", ErrNoProgress, iter)
 		}
-		s.tick()
+		if err := s.tick(ctx); err != nil {
+			return nil, fmt.Errorf("confl: dual growth interrupted: %w", err)
+		}
 	}
 
 	sol := &Solution{
@@ -182,8 +203,15 @@ func newSolver(inst Instance, opts Options) *solver {
 }
 
 // tick advances the dual-growth process by one step U_α.
-func (s *solver) tick() {
+//
+// Three of its four phases are embarrassingly parallel once the preceding
+// phase has completed — each work item reads only state the earlier phases
+// fixed and writes only its own slot or row — so they fan out over
+// opts.Pool. The opening phase stays sequential: each opening freezes
+// supporters, which changes the SPAN counts of later candidates.
+func (s *solver) tick(ctx context.Context) error {
 	inst, n := s.inst, s.inst.N
+	p := s.opts.Pool
 
 	// Raise connection bids of active demands.
 	for j := 0; j < n; j++ {
@@ -194,19 +222,38 @@ func (s *solver) tick() {
 
 	// TIGHT: freeze demands whose bid covers an open facility. Because a
 	// frozen demand's α stops growing, its contribution max(0, α_j − c_ij)
-	// to still-unopened candidates is automatically snapshotted.
-	s.freezeOnOpen()
+	// to still-unopened candidates is automatically snapshotted. Each
+	// demand j reads the fixed open set and writes frozen[j]/assign[j].
+	if err := p.ForEach(ctx, n, func(j int) { s.freezeDemand(j) }); err != nil {
+		return err
+	}
 
 	// Raise relay (SPAN) bids toward candidates the demand is tight with.
-	for i := 0; i < n; i++ {
+	// Per-candidate row i of γ; frozen[] is fixed for the rest of the tick.
+	if err := p.ForEach(ctx, n, func(i int) {
 		if !s.isCandidate(i) {
-			continue
+			return
 		}
 		for j := 0; j < n; j++ {
 			if !s.frozen[j] && s.alpha[j] >= inst.ConnCost[i][j] {
 				s.gamma[i][j] += s.opts.GammaStep
 			}
 		}
+	}); err != nil {
+		return err
+	}
+
+	// β totals depend only on α, which no longer moves this tick, so they
+	// can be precomputed in parallel before the sequential opening scan.
+	if s.paidBuf == nil {
+		s.paidBuf = make([]float64, n)
+	}
+	if err := p.ForEach(ctx, n, func(i int) {
+		if s.isCandidate(i) {
+			s.paidBuf[i] = s.paid(i)
+		}
+	}); err != nil {
+		return err
 	}
 
 	// Open candidates that are fully paid and hold a SPAN quorum.
@@ -214,11 +261,12 @@ func (s *solver) tick() {
 		if !s.isCandidate(i) {
 			continue
 		}
-		if s.paid(i) < inst.FacilityCost[i] || s.spanCount(i) < s.opts.SpanQuorum {
+		if s.paidBuf[i] < inst.FacilityCost[i] || s.spanCount(i) < s.opts.SpanQuorum {
 			continue
 		}
 		s.openAdmin(i)
 	}
+	return nil
 }
 
 // isCandidate reports whether node i can still become a caching facility.
@@ -276,24 +324,23 @@ func (s *solver) openAdmin(i int) {
 	}
 }
 
-// freezeOnOpen connects every active demand whose α covers the connection
-// cost to the cheapest open facility.
-func (s *solver) freezeOnOpen() {
-	for j := 0; j < s.inst.N; j++ {
-		if s.frozen[j] {
-			continue
+// freezeDemand connects demand j to the cheapest open facility its α
+// covers, if any. It touches only j's slots, so distinct demands can be
+// frozen concurrently against a fixed open set.
+func (s *solver) freezeDemand(j int) {
+	if s.frozen[j] {
+		return
+	}
+	best := -1
+	bestC := math.Inf(1)
+	for i := 0; i < s.inst.N; i++ {
+		if s.open[i] && s.alpha[j] >= s.inst.ConnCost[i][j] && s.inst.ConnCost[i][j] < bestC {
+			best, bestC = i, s.inst.ConnCost[i][j]
 		}
-		best := -1
-		bestC := math.Inf(1)
-		for i := 0; i < s.inst.N; i++ {
-			if s.open[i] && s.alpha[j] >= s.inst.ConnCost[i][j] && s.inst.ConnCost[i][j] < bestC {
-				best, bestC = i, s.inst.ConnCost[i][j]
-			}
-		}
-		if best >= 0 {
-			s.frozen[j] = true
-			s.assign[j] = best
-		}
+	}
+	if best >= 0 {
+		s.frozen[j] = true
+		s.assign[j] = best
 	}
 }
 

@@ -1,6 +1,8 @@
 package confl
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -20,6 +22,14 @@ import (
 // already open facility (a proxy for the Steiner growth), and stop when no
 // facility has positive gain. The returned Solution mirrors Solve's.
 func SolveGreedy(inst Instance, opts Options) (*Solution, error) {
+	return SolveGreedyCtx(context.Background(), inst, opts)
+}
+
+// SolveGreedyCtx is SolveGreedy with cancellation: the marginal-gain scan
+// over candidates fans out over opts.Pool (deterministically — gains land
+// in per-candidate slots and the arg-max scan stays sequential), and ctx is
+// checked once per opened facility.
+func SolveGreedyCtx(ctx context.Context, inst Instance, opts Options) (*Solution, error) {
 	if err := validate(inst); err != nil {
 		return nil, err
 	}
@@ -46,11 +56,15 @@ func SolveGreedy(inst Instance, opts Options) (*Solution, error) {
 	}
 
 	var facilities []int
+	gains := make([]float64, n)
 	for {
-		bestGain, bestNode := 0.0, -1
-		for i := 0; i < n; i++ {
+		// Each candidate's marginal gain depends only on the fixed open
+		// set and service costs, so the scan parallelises into per-slot
+		// writes; the arg-max below keeps the sequential tie-breaking.
+		err := opts.Pool.ForEach(ctx, n, func(i int) {
+			gains[i] = math.Inf(-1)
 			if open[i] || i == inst.Producer || math.IsInf(inst.FacilityCost[i], 1) {
-				continue
+				return
 			}
 			savings := 0.0
 			for j := 0; j < n; j++ {
@@ -66,8 +80,14 @@ func SolveGreedy(inst Instance, opts Options) (*Solution, error) {
 					connect = inst.ConnCost[i][k]
 				}
 			}
-			gain := savings - inst.FacilityCost[i] - connect
-			if gain > bestGain+1e-12 {
+			gains[i] = savings - inst.FacilityCost[i] - connect
+		})
+		if err != nil {
+			return nil, fmt.Errorf("confl: greedy interrupted: %w", err)
+		}
+		bestGain, bestNode := 0.0, -1
+		for i := 0; i < n; i++ {
+			if gain := gains[i]; gain > bestGain+1e-12 {
 				bestGain, bestNode = gain, i
 			}
 		}

@@ -5,8 +5,11 @@
 package contention
 
 import (
+	"context"
+
 	"repro/internal/cache"
 	"repro/internal/graph"
+	"repro/internal/pool"
 )
 
 // NodeCost returns w_k, the Node Contention Cost of node k: its degree.
@@ -53,6 +56,31 @@ func ComputeCosts(g *graph.Graph, st *cache.State) *Costs {
 		c.C[i], c.Pred[i] = g.NodeCostPaths(i, w)
 	}
 	return c
+}
+
+// ComputeCostsCtx is the engine variant of ComputeCosts: the per-source
+// sweeps fan out over p, per-source BFS layer structure comes from pc when
+// non-nil (only the weight sweep is recomputed as S(i) moves), and ctx
+// cancellation aborts the matrix build. Rows are written only by their own
+// index, so the matrix is byte-identical to ComputeCosts.
+func ComputeCostsCtx(ctx context.Context, g *graph.Graph, st *cache.State, pc *graph.PathCache, p *pool.Pool) (*Costs, error) {
+	n := g.NumNodes()
+	w := Weights(g, st)
+	c := &Costs{
+		C:    make([][]float64, n),
+		Pred: make([][]int, n),
+	}
+	err := p.ForEach(ctx, n, func(i int) {
+		if pc != nil {
+			c.C[i], c.Pred[i] = pc.NodeCostPaths(i, w)
+		} else {
+			c.C[i], c.Pred[i] = g.NodeCostPaths(i, w)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // Path returns the node sequence of the path underlying C[i][j], including

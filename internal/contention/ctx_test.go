@@ -1,0 +1,55 @@
+package contention
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/pool"
+)
+
+func TestComputeCostsCtxMatchesSequential(t *testing.T) {
+	g := graph.NewGrid(7, 7)
+	st := cache.NewState(g.NumNodes(), 4)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < g.NumNodes(); i++ {
+		for k := 0; k < rng.Intn(4); k++ {
+			_ = st.Store(i, k)
+		}
+	}
+	want := ComputeCosts(g, st)
+
+	pc := graph.NewPathCache(g)
+	p := pool.New(4)
+	defer p.Close()
+	for _, cached := range []*graph.PathCache{nil, pc} {
+		got, err := ComputeCostsCtx(context.Background(), g, st, cached, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.C {
+			for j := range want.C[i] {
+				if math.Float64bits(want.C[i][j]) != math.Float64bits(got.C[i][j]) {
+					t.Fatalf("cached=%v C[%d][%d] = %v, want %v", cached != nil, i, j, got.C[i][j], want.C[i][j])
+				}
+				if want.Pred[i][j] != got.Pred[i][j] {
+					t.Fatalf("cached=%v Pred[%d][%d] = %d, want %d", cached != nil, i, j, got.Pred[i][j], want.Pred[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestComputeCostsCtxCancelled(t *testing.T) {
+	g := graph.NewGrid(5, 5)
+	st := cache.NewState(g.NumNodes(), 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ComputeCostsCtx(ctx, g, st, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/confl"
 	"repro/internal/contention"
 	"repro/internal/graph"
+	"repro/internal/pool"
 	"repro/internal/steiner"
 )
 
@@ -52,6 +54,21 @@ type Options struct {
 	// weighted-summation extension of the paper's footnote 1); 0 (the
 	// default) ignores battery levels.
 	BatteryWeight float64
+	// Workers sizes the worker pool the engine fans independent inner work
+	// out over (contention matrix rows, per-demand and per-candidate tick
+	// phases, per-terminal Dijkstra). 0 uses GOMAXPROCS; 1 or less runs the
+	// sequential reference path. Results are byte-identical at any width.
+	Workers int
+	// ChunkStarted, when non-nil, is invoked at the start of each per-chunk
+	// iteration with the chunk id, before any work for that chunk runs. It
+	// exists so callers (and cancellation tests) can observe solve progress.
+	ChunkStarted func(chunk int)
+	// PathCache, when non-nil, supplies a shared shortest-path memo for the
+	// solver's topology (it MUST have been built over the same graph).
+	// Callers that create many Solvers on one topology — the placement
+	// service does, one per request — pass a shared cache so the BFS layer
+	// structure is computed once. nil creates a private cache.
+	PathCache *graph.PathCache
 }
 
 // DefaultOptions returns the configuration used in the paper's evaluation.
@@ -118,9 +135,14 @@ func (p *Placement) Objective() float64 {
 }
 
 // Solver runs the fair caching approximation algorithm on one topology.
+// It memoises the topology-dependent shortest-path structure (BFS layers
+// per source), so repeated solves on the same topology — per-chunk
+// iterations, online publications, server requests — skip that work. A
+// Solver is safe for concurrent use.
 type Solver struct {
 	g    *graph.Graph
 	opts Options
+	pc   *graph.PathCache
 }
 
 // Errors returned by the solver.
@@ -142,12 +164,26 @@ func New(g *graph.Graph, opts Options) (*Solver, error) {
 	if opts.BatteryWeight < 0 {
 		return nil, fmt.Errorf("core: battery weight %g must be >= 0", opts.BatteryWeight)
 	}
-	return &Solver{g: g, opts: opts}, nil
+	pc := opts.PathCache
+	if pc == nil {
+		pc = graph.NewPathCache(g)
+	}
+	return &Solver{g: g, opts: opts, pc: pc}, nil
 }
 
 // Place runs Algorithm 1: it places chunk ids 0..chunks-1 sequentially,
 // mutating st (which must cover the same node set as the topology).
 func (s *Solver) Place(producer, chunks int, st *cache.State) (*Placement, error) {
+	return s.PlaceCtx(context.Background(), producer, chunks, st)
+}
+
+// PlaceCtx is Place with cancellation and parallel inner work: ctx is
+// checked before every chunk and throughout each per-chunk iteration
+// (contention matrix build, dual-growth ticks, Steiner fan-out), and the
+// independent inner loops spread over Options.Workers. Cancellation
+// surfaces as an error satisfying errors.Is with ctx.Err(); st may have
+// been mutated by already-committed chunks.
+func (s *Solver) PlaceCtx(ctx context.Context, producer, chunks int, st *cache.State) (*Placement, error) {
 	if producer < 0 || producer >= s.g.NumNodes() {
 		return nil, fmt.Errorf("%w: %d", ErrBadProducer, producer)
 	}
@@ -158,12 +194,18 @@ func (s *Solver) Place(producer, chunks int, st *cache.State) (*Placement, error
 		return nil, ErrBadState
 	}
 
+	pl := pool.New(s.effectiveWorkers())
+	defer pl.Close()
+
 	placement := &Placement{
 		Producer: producer,
 		State:    st,
 	}
 	for n := 0; n < chunks; n++ {
-		res, err := s.placeChunk(producer, n, st)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", n, err)
+		}
+		res, err := s.placeChunk(ctx, producer, n, st, pl)
 		if err != nil {
 			return nil, fmt.Errorf("chunk %d: %w", n, err)
 		}
@@ -176,20 +218,39 @@ func (s *Solver) Place(producer, chunks int, st *cache.State) (*Placement, error
 // id against the current state — the building block of the online variant
 // (package online), where chunks arrive over time rather than as a batch.
 func (s *Solver) PlaceOne(producer, chunkID int, st *cache.State) (*ChunkResult, error) {
+	return s.PlaceOneCtx(context.Background(), producer, chunkID, st)
+}
+
+// PlaceOneCtx is PlaceOne with cancellation and parallel inner work (see
+// PlaceCtx).
+func (s *Solver) PlaceOneCtx(ctx context.Context, producer, chunkID int, st *cache.State) (*ChunkResult, error) {
 	if producer < 0 || producer >= s.g.NumNodes() {
 		return nil, fmt.Errorf("%w: %d", ErrBadProducer, producer)
 	}
 	if st == nil || st.NumNodes() != s.g.NumNodes() {
 		return nil, ErrBadState
 	}
-	return s.placeChunk(producer, chunkID, st)
+	pl := pool.New(s.effectiveWorkers())
+	defer pl.Close()
+	return s.placeChunk(ctx, producer, chunkID, st, pl)
 }
 
+// effectiveWorkers maps Options.Workers onto a pool width: 0 means
+// GOMAXPROCS, anything below 1 means the sequential path.
+func (s *Solver) effectiveWorkers() int { return pool.Normalize(s.opts.Workers) }
+
 // placeChunk runs one iteration of Algorithm 1 for chunk n.
-func (s *Solver) placeChunk(producer, n int, st *cache.State) (*ChunkResult, error) {
+func (s *Solver) placeChunk(ctx context.Context, producer, n int, st *cache.State, pl *pool.Pool) (*ChunkResult, error) {
+	if hook := s.opts.ChunkStarted; hook != nil {
+		hook(n)
+	}
+
 	// Lines 5-16: refresh fairness and contention costs from the state.
 	fc := s.facilityCosts(producer, st)
-	costs := contention.ComputeCosts(s.g, st)
+	costs, err := contention.ComputeCostsCtx(ctx, s.g, st, s.pc, pl)
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 1 (lines 17-46): per-chunk ConFL.
 	inst := confl.Instance{
@@ -198,14 +259,13 @@ func (s *Solver) placeChunk(producer, n int, st *cache.State) (*ChunkResult, err
 		FacilityCost: fc,
 		ConnCost:     costs.C,
 	}
-	var (
-		sol *confl.Solution
-		err error
-	)
+	copts := s.opts.ConFL
+	copts.Pool = pl
+	var sol *confl.Solution
 	if s.opts.Strategy == Greedy {
-		sol, err = confl.SolveGreedy(inst, s.opts.ConFL)
+		sol, err = confl.SolveGreedyCtx(ctx, inst, copts)
 	} else {
-		sol, err = confl.Solve(inst, s.opts.ConFL)
+		sol, err = confl.SolveCtx(ctx, inst, copts)
 	}
 	if err != nil {
 		return nil, err
@@ -232,7 +292,7 @@ func (s *Solver) placeChunk(producer, n int, st *cache.State) (*ChunkResult, err
 	if len(sol.Facilities) > 0 {
 		terminals := append(append([]int(nil), sol.Facilities...), producer)
 		edgeCost := contention.EdgeCostFunc(s.g, st)
-		tree, err := steiner.MSTApprox(s.g, edgeCost, terminals)
+		tree, err := steiner.MSTApproxCtx(ctx, s.g, edgeCost, terminals, pl)
 		if err != nil {
 			return nil, err
 		}

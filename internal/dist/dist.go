@@ -10,6 +10,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -153,6 +154,14 @@ func New(g *graph.Graph, opts Options) (*Protocol, error) {
 // each chunk's ADMIN set into st before the next chunk starts, so the
 // fairness and contention feedback matches the centralized algorithm.
 func (pr *Protocol) PlaceChunks(producer, chunks int, st *cache.State) (*Placement, error) {
+	return pr.PlaceChunksCtx(context.Background(), producer, chunks, st)
+}
+
+// PlaceChunksCtx is PlaceChunks with cancellation checked before each
+// chunk's protocol run (one run is a bounded round simulation, so the
+// per-chunk granularity keeps aborts prompt without touching the
+// simulator's determinism).
+func (pr *Protocol) PlaceChunksCtx(ctx context.Context, producer, chunks int, st *cache.State) (*Placement, error) {
 	if producer < 0 || producer >= pr.g.NumNodes() {
 		return nil, fmt.Errorf("%w: %d", ErrBadProducer, producer)
 	}
@@ -164,6 +173,9 @@ func (pr *Protocol) PlaceChunks(producer, chunks int, st *cache.State) (*Placeme
 	}
 	placement := &Placement{Producer: producer, State: st}
 	for n := 0; n < chunks; n++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", n, err)
+		}
 		run, err := pr.runChunk(producer, n, st)
 		if err != nil {
 			return nil, fmt.Errorf("chunk %d: %w", n, err)

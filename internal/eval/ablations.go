@@ -51,7 +51,7 @@ func RunAblations(sc Scenario) ([]AblationRow, error) {
 	for _, c := range configs {
 		opts := c.opts
 		opts.Capacity = sc.Capacity
-		res, err := faircache.Approximate(topo, producer, chunks, &opts)
+		res, err := Run(faircache.AlgorithmApprox, topo, producer, chunks, &opts)
 		if err != nil {
 			return nil, err
 		}
@@ -76,7 +76,7 @@ func RunAblations(sc Scenario) ([]AblationRow, error) {
 			levels[i] = 0.05 // nearly dead left half
 		}
 	}
-	res, err := faircache.Approximate(topo, producer, chunks, &faircache.Options{
+	res, err := Run(faircache.AlgorithmApprox, topo, producer, chunks, &faircache.Options{
 		Capacity:      sc.Capacity,
 		BatteryLevels: levels,
 		BatteryWeight: 1,

@@ -6,7 +6,7 @@
 package eval
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	faircache "repro"
@@ -20,22 +20,20 @@ var Algorithms = []faircache.Algorithm{
 	faircache.AlgorithmContention,
 }
 
-// Run executes one algorithm on a topology and returns its placement.
+// Run executes one algorithm on a topology and returns its placement. It
+// drives the Solver API with a background context; unknown algorithms
+// fail with faircache.ErrBadArgument.
 func Run(alg faircache.Algorithm, topo *faircache.Topology, producer, chunks int, opts *faircache.Options) (*faircache.Result, error) {
-	switch alg {
-	case faircache.AlgorithmApprox:
-		return faircache.Approximate(topo, producer, chunks, opts)
-	case faircache.AlgorithmDistributed:
-		return faircache.Distribute(topo, producer, chunks, opts)
-	case faircache.AlgorithmHopCount:
-		return faircache.HopCountBaseline(topo, producer, chunks, opts)
-	case faircache.AlgorithmContention:
-		return faircache.ContentionBaseline(topo, producer, chunks, opts)
-	case faircache.AlgorithmOptimal:
-		return faircache.Optimal(topo, producer, chunks, opts)
-	default:
-		return nil, fmt.Errorf("eval: unknown algorithm %q", alg)
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		return nil, err
 	}
+	return solver.Solve(context.Background(), faircache.Request{
+		Producer:  producer,
+		Chunks:    chunks,
+		Algorithm: alg,
+		Options:   opts,
+	})
 }
 
 // Cost runs an algorithm and evaluates its total contention cost.

@@ -32,7 +32,7 @@ func RunFig1(rows, cols int, sc Scenario) (*Fig1, error) {
 		return nil, err
 	}
 	producer := sc.producerOn(topo)
-	ref, err := faircache.Optimal(topo, producer, sc.Chunks, sc.options())
+	ref, err := Run(faircache.AlgorithmOptimal, topo, producer, sc.Chunks, sc.options())
 	if err != nil {
 		return nil, fmt.Errorf("fig1 reference: %w", err)
 	}
@@ -90,7 +90,7 @@ func RunFig2Small(sides []int, sc Scenario) ([]CostRow, error) {
 			}
 			row.Total[alg] = cost
 		}
-		ref, err := faircache.Optimal(topo, producer, sc.Chunks, sc.options())
+		ref, err := Run(faircache.AlgorithmOptimal, topo, producer, sc.Chunks, sc.options())
 		if err != nil {
 			return nil, fmt.Errorf("fig2 optimal on %dx%d: %w", side, side, err)
 		}
@@ -150,7 +150,7 @@ func RunFig3(rows, cols, maxK int, sc Scenario) ([]Fig3Row, error) {
 	for k := 1; k <= maxK; k++ {
 		opts := sc.options()
 		opts.HopLimit = k
-		res, err := faircache.Distribute(topo, producer, sc.Chunks, opts)
+		res, err := Run(faircache.AlgorithmDistributed, topo, producer, sc.Chunks, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig3 k=%d: %w", k, err)
 		}
@@ -433,7 +433,7 @@ func RunTable2(rows, cols int, sc Scenario) (*Table2, error) {
 		return nil, err
 	}
 	producer := sc.producerOn(topo)
-	res, err := faircache.Distribute(topo, producer, sc.Chunks, sc.options())
+	res, err := Run(faircache.AlgorithmDistributed, topo, producer, sc.Chunks, sc.options())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,50 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+)
+
+func TestSolveChunkCtxCancelled(t *testing.T) {
+	g := graph.NewGrid(4, 4)
+	st := cache.NewState(g.NumNodes(), 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveChunkCtx(ctx, g, st, 0, DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveChunkCtx: err = %v, want context.Canceled", err)
+	}
+	if _, err := PlaceChunksCtx(ctx, g, 0, 2, st, DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PlaceChunksCtx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSolveChunkWorkersIdentical checks the pooled precomputation does not
+// change the search outcome.
+func TestSolveChunkWorkersIdentical(t *testing.T) {
+	g := graph.NewGrid(3, 3)
+	solve := func(workers int) *Solution {
+		st := cache.NewState(g.NumNodes(), 2)
+		opts := DefaultOptions()
+		opts.Workers = workers
+		opts.MaxSubsetSize = 3
+		sol, err := SolveChunk(g, st, 0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	want := solve(1)
+	got := solve(4)
+	if got.Total() != want.Total() || len(got.Facilities) != len(want.Facilities) {
+		t.Fatalf("parallel: %v (%v) != %v (%v)", got.Facilities, got.Total(), want.Facilities, want.Total())
+	}
+	for i := range want.Facilities {
+		if got.Facilities[i] != want.Facilities[i] {
+			t.Fatalf("facilities %v != %v", got.Facilities, want.Facilities)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/contention"
 	"repro/internal/graph"
+	"repro/internal/pool"
 	"repro/internal/steiner"
 )
 
@@ -32,6 +34,11 @@ type Options struct {
 	// FairnessWeight scales the fairness term, mirroring core.Options.
 	// Zero disables the term (the default used by DefaultOptions is 1).
 	FairnessWeight float64
+	// Workers sizes the pool the search's precomputation (contention
+	// matrix, all-pairs Dijkstra) fans out over. 0 means GOMAXPROCS, 1 or
+	// less the sequential path. The branch-and-bound itself is sequential,
+	// so results are identical at any width.
+	Workers int
 }
 
 // DefaultOptions returns the configuration matching the paper's objective.
@@ -70,6 +77,14 @@ var (
 // cache state: min over A of Σ_{i∈A} f_i + Σ_j min_{i∈A∪{v}} c_ij +
 // SteinerOpt(A ∪ {v}).
 func SolveChunk(g *graph.Graph, st *cache.State, producer int, opts Options) (*Solution, error) {
+	return SolveChunkCtx(context.Background(), g, st, producer, opts)
+}
+
+// SolveChunkCtx is SolveChunk with cancellation: ctx is checked inside the
+// branch-and-bound every few hundred explored nodes (and throughout the
+// parallel precomputation), so a cancelled context aborts the search
+// instead of letting it run to completion.
+func SolveChunkCtx(ctx context.Context, g *graph.Graph, st *cache.State, producer int, opts Options) (*Solution, error) {
 	if g == nil || st == nil || g.NumNodes() != st.NumNodes() {
 		return nil, fmt.Errorf("%w: graph/state mismatch", ErrBadInput)
 	}
@@ -85,8 +100,17 @@ func SolveChunk(g *graph.Graph, st *cache.State, producer int, opts Options) (*S
 		maxSize = steiner.MaxExactTerminals - 1
 	}
 
-	s := newSearch(g, st, producer, opts, maxSize)
+	pl := pool.New(pool.Normalize(opts.Workers))
+	defer pl.Close()
+	s, err := newSearch(ctx, g, st, producer, opts, maxSize, pl)
+	if err != nil {
+		return nil, fmt.Errorf("exact: search setup interrupted: %w", err)
+	}
+	s.ctx = ctx
 	s.run()
+	if s.ctxErr != nil {
+		return nil, fmt.Errorf("exact: search interrupted: %w", s.ctxErr)
+	}
 
 	// Optimality is proven only when neither the node budget nor the
 	// subset-size cap could have hidden a better solution.
@@ -129,17 +153,24 @@ type search struct {
 	explored  int
 	budgetHit bool
 
+	ctx    context.Context
+	ctxErr error
+
 	cur []int // current subset (candidate indices -> node ids)
 }
 
-func newSearch(g *graph.Graph, st *cache.State, producer int, opts Options, maxSize int) *search {
+func newSearch(ctx context.Context, g *graph.Graph, st *cache.State, producer int, opts Options, maxSize int, pl *pool.Pool) (*search, error) {
 	n := g.NumNodes()
+	costs, err := contention.ComputeCostsCtx(ctx, g, st, nil, pl)
+	if err != nil {
+		return nil, err
+	}
 	s := &search{
 		g:        g,
 		producer: producer,
 		opts:     opts,
 		maxSize:  maxSize,
-		conn:     contention.ComputeCosts(g, st).C,
+		conn:     costs.C,
 		edgeCost: contention.EdgeCostFunc(g, st),
 		bestCost: math.Inf(1),
 	}
@@ -192,12 +223,15 @@ func newSearch(g *graph.Graph, st *cache.State, producer int, opts Options, maxS
 	}
 
 	// All-pairs shortest-path distances under the edge costs (for the
-	// metric-closure MST Steiner lower bound).
+	// metric-closure MST Steiner lower bound), one Dijkstra per source
+	// fanned out over the pool.
 	s.spDist = make([][]float64, n)
-	for v := 0; v < n; v++ {
+	if err := pl.ForEach(ctx, n, func(v int) {
 		s.spDist[v], _ = g.Dijkstra(v, s.edgeCost)
+	}); err != nil {
+		return nil, err
 	}
-	return s
+	return s, nil
 }
 
 func (s *search) run() {
@@ -208,8 +242,16 @@ func (s *search) run() {
 
 // dfs explores subsets of candidates[k:] added to s.cur.
 func (s *search) dfs(k int) {
-	if s.budgetHit || k == len(s.candidates) || len(s.cur) == s.maxSize {
+	if s.ctxErr != nil || s.budgetHit || k == len(s.candidates) || len(s.cur) == s.maxSize {
 		return
+	}
+	// Poll for cancellation every 128 explored nodes: cheap enough to keep
+	// the search CPU-bound, frequent enough to abort promptly.
+	if s.ctx != nil && s.explored&127 == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.ctxErr = err
+			return
+		}
 	}
 	if s.opts.NodeBudget > 0 && s.explored >= s.opts.NodeBudget {
 		s.budgetHit = true
@@ -379,12 +421,18 @@ func (p *Placement) Optimal() bool {
 // ConFL solution under the current state is computed and committed, just
 // like the paper's brute-force baseline solves Eq. (8) chunk by chunk.
 func PlaceChunks(g *graph.Graph, producer, chunks int, st *cache.State, opts Options) (*Placement, error) {
+	return PlaceChunksCtx(context.Background(), g, producer, chunks, st, opts)
+}
+
+// PlaceChunksCtx is PlaceChunks with cancellation checked before and
+// during every per-chunk search.
+func PlaceChunksCtx(ctx context.Context, g *graph.Graph, producer, chunks int, st *cache.State, opts Options) (*Placement, error) {
 	if chunks <= 0 {
 		return nil, fmt.Errorf("%w: chunks %d", ErrBadInput, chunks)
 	}
 	p := &Placement{Producer: producer, State: st}
 	for n := 0; n < chunks; n++ {
-		sol, err := SolveChunk(g, st, producer, opts)
+		sol, err := SolveChunkCtx(ctx, g, st, producer, opts)
 		if err != nil {
 			return nil, fmt.Errorf("chunk %d: %w", n, err)
 		}

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pool"
+)
+
+// randomConnectedGraph builds a deterministic random graph with a spanning
+// path plus extra edges, so every node is reachable.
+func pcTestGraph(t *testing.T, n int, extra int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(perm[i-1], perm[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestPathCacheMatchesNodeCostPaths(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		g := pcTestGraph(t, 60, 90, seed)
+		pc := NewPathCache(g)
+		rng := rand.New(rand.NewSource(seed + 100))
+		for trial := 0; trial < 3; trial++ {
+			w := make([]float64, g.NumNodes())
+			for i := range w {
+				w[i] = 1 + 10*rng.Float64()
+			}
+			for src := 0; src < g.NumNodes(); src++ {
+				wantC, wantP := g.NodeCostPaths(src, w)
+				gotC, gotP := pc.NodeCostPaths(src, w)
+				for v := range wantC {
+					// Byte-identical: compare bit patterns, not with epsilon.
+					if math.Float64bits(wantC[v]) != math.Float64bits(gotC[v]) {
+						t.Fatalf("seed=%d src=%d v=%d: cost %v != %v", seed, src, v, gotC[v], wantC[v])
+					}
+					if wantP[v] != gotP[v] {
+						t.Fatalf("seed=%d src=%d v=%d: pred %d != %d", seed, src, v, gotP[v], wantP[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPathCacheDisconnectedAndBadSource(t *testing.T) {
+	g := New(5)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(2, 3) // node 4 isolated
+	pc := NewPathCache(g)
+	w := []float64{1, 2, 3, 4, 5}
+	for src := -1; src <= 5; src++ {
+		var wantC []float64
+		var wantP []int
+		if src >= 0 && src < 5 {
+			wantC, wantP = g.NodeCostPaths(src, w)
+		} else {
+			wantC, wantP = g.NodeCostPaths(src, w)
+		}
+		gotC, gotP := pc.NodeCostPaths(src, w)
+		for v := range wantC {
+			if math.Float64bits(wantC[v]) != math.Float64bits(gotC[v]) || wantP[v] != gotP[v] {
+				t.Fatalf("src=%d v=%d: got (%v,%d) want (%v,%d)", src, v, gotC[v], gotP[v], wantC[v], wantP[v])
+			}
+		}
+	}
+}
+
+func TestPathCacheWarm(t *testing.T) {
+	g := pcTestGraph(t, 40, 40, 3)
+	pc := NewPathCache(g)
+	p := pool.New(4)
+	defer p.Close()
+	if err := pc.Warm(context.Background(), p, nil); err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < g.NumNodes(); src++ {
+		if pc.peek(src) == nil {
+			t.Fatalf("Warm left source %d unbuilt", src)
+		}
+	}
+	// Warming again (and with explicit sources) is a no-op.
+	if err := pc.Warm(context.Background(), p, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pc2 := NewPathCache(g)
+	if err := pc2.Warm(ctx, p, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Warm with cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
+func TestPathCacheHopDistances(t *testing.T) {
+	g := pcTestGraph(t, 30, 20, 9)
+	pc := NewPathCache(g)
+	for src := 0; src < g.NumNodes(); src++ {
+		want := g.HopDistances(src)
+		got := pc.HopDistances(src)
+		for v := range want {
+			if want[v] != got[v] {
+				t.Fatalf("src=%d v=%d: hop %d != %d", src, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestAllPairsHopsCtx(t *testing.T) {
+	g := pcTestGraph(t, 50, 60, 11)
+	p := pool.New(4)
+	defer p.Close()
+	got, err := g.AllPairsHopsCtx(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.AllPairsHops()
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("[%d][%d] = %d, want %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.AllPairsHopsCtx(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled AllPairsHopsCtx: %v", err)
+	}
+}
+
+func TestPathCacheConcurrentReads(t *testing.T) {
+	g := pcTestGraph(t, 40, 50, 5)
+	pc := NewPathCache(g)
+	w := make([]float64, g.NumNodes())
+	for i := range w {
+		w[i] = float64(1 + i%7)
+	}
+	p := pool.New(8)
+	defer p.Close()
+	// Hammer the lazy-build path from many goroutines at once.
+	if err := p.ForEach(context.Background(), 200, func(i int) {
+		src := i % g.NumNodes()
+		c, _ := pc.NodeCostPaths(src, w)
+		if c[src] != 0 {
+			t.Errorf("src=%d: cost[src] = %v, want 0", src, c[src])
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,7 @@
 package online
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -111,6 +112,19 @@ func (s *System) SetTopology(g *graph.Graph) error {
 // Publish places the next chunk: expired chunks are evicted first, then
 // one fair-caching iteration runs against the refreshed state.
 func (s *System) Publish() (*Publication, error) {
+	return s.PublishCtx(context.Background())
+}
+
+// PublishCtx is Publish with cancellation: ctx is checked before the clock
+// advances (a pre-cancelled context leaves the system untouched) and
+// throughout the placement iteration. A cancelled placement returns an
+// error satisfying errors.Is with ctx.Err(); the publication is not
+// committed, but the clock tick and any TTL evictions it triggered stand —
+// they reflect time passing, not the abandoned placement.
+func (s *System) PublishCtx(ctx context.Context) (*Publication, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("online: publish: %w", err)
+	}
 	s.clock++
 	pub := &Publication{
 		Chunk: s.nextID,
@@ -137,7 +151,7 @@ func (s *System) Publish() (*Publication, error) {
 		pub.Expired = stale
 	}
 
-	res, err := s.solver.PlaceOne(s.producer, pub.Chunk, s.st)
+	res, err := s.solver.PlaceOneCtx(ctx, s.producer, pub.Chunk, s.st)
 	if err != nil {
 		return nil, fmt.Errorf("online: publish chunk %d: %w", pub.Chunk, err)
 	}

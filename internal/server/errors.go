@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,10 +24,17 @@ const (
 	CodeBadRequest = "bad_request" // malformed body, unknown field values, range errors
 	CodeNotFound   = "not_found"   // unknown topology id, unknown chunk, bad route
 	CodeGone       = "gone"        // topology deleted while the request was in flight
-	CodeTimeout    = "timeout"     // request context expired before the mutation committed
+	CodeTimeout    = "timeout"     // request deadline expired; the engine aborted mid-solve
+	CodeCanceled   = "canceled"    // client went away; the engine aborted mid-solve
 	CodeShutdown   = "shutting_down"
 	CodeInternal   = "internal"
 )
+
+// StatusClientClosedRequest is the non-standard HTTP status (nginx's 499)
+// reported when a solve is abandoned because the client disconnected. No
+// client reads it — the connection is gone — but it keeps access logs and
+// metrics distinguishing "we were slow" (504) from "they left" (499).
+const StatusClientClosedRequest = 499
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
 
@@ -46,8 +54,10 @@ func gonef(format string, args ...any) *Error {
 	return &Error{Status: http.StatusGone, Code: CodeGone, Message: fmt.Sprintf(format, args...)}
 }
 
-// asError normalises any error into a typed *Error, mapping the public
-// library's argument errors to bad_request instead of internal.
+// asError normalises any error into a typed *Error: the public library's
+// argument errors map to bad_request, and the context sentinels the
+// cancellable engine propagates map to timeout (504, deadline passed) or
+// canceled (499, client went away) instead of internal.
 func asError(err error) *Error {
 	var e *Error
 	if errors.As(err, &e) {
@@ -55,6 +65,12 @@ func asError(err error) *Error {
 	}
 	if errors.Is(err, faircache.ErrBadArgument) || errors.Is(err, faircache.ErrNotConnected) {
 		return badRequestf("%v", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return timeoutf("%v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		return &Error{Status: StatusClientClosedRequest, Code: CodeCanceled, Message: err.Error()}
 	}
 	return &Error{Status: http.StatusInternalServerError, Code: CodeInternal, Message: err.Error()}
 }

@@ -281,6 +281,9 @@ type SolveOptions struct {
 	SearchWidth    int     `json:"searchWidth,omitempty"`
 	GreedyConFL    bool    `json:"greedyConFL,omitempty"`
 	ImproveSteiner bool    `json:"improveSteiner,omitempty"`
+	// Workers sizes the engine's worker pool for this solve (0 =
+	// GOMAXPROCS, 1 = sequential).
+	Workers int `json:"workers,omitempty"`
 }
 
 func (o *SolveOptions) toOptions(capacity int) *faircache.Options {
@@ -302,6 +305,7 @@ func (o *SolveOptions) toOptions(capacity int) *faircache.Options {
 	out.SearchWidth = o.SearchWidth
 	out.GreedyConFL = o.GreedyConFL
 	out.ImproveSteiner = o.ImproveSteiner
+	out.Workers = o.Workers
 	return out
 }
 
@@ -353,7 +357,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequestf("chunks must be >= 1, got %d", req.Chunks))
 		return
 	}
-	solver, _, aerr := solverFor(req.Algorithm)
+	alg, _, aerr := algorithmFor(req.Algorithm)
 	if aerr != nil {
 		s.writeError(w, aerr)
 		return
@@ -365,15 +369,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	v, err := tp.do(ctx, func() (any, error) {
+	v, err := tp.do(ctx, func(cctx context.Context) (any, error) {
 		start := time.Now()
-		res, err := solver(tp.topo, tp.producer, req.Chunks, req.Options.toOptions(tp.capacity))
+		res, err := tp.solver.Solve(cctx, faircache.Request{
+			Producer:  tp.producer,
+			Chunks:    req.Chunks,
+			Algorithm: alg,
+			Options:   req.Options.toOptions(tp.capacity),
+		})
 		if err != nil {
 			return nil, err
 		}
-		// A solve that finished after the deadline must not commit: the
-		// client has already been answered with a timeout.
-		if ctx.Err() != nil {
+		// A solve that finished right at the deadline must not commit:
+		// the client has already been answered with a timeout.
+		if cctx.Err() != nil {
 			return nil, timeoutf("solve finished after the request deadline; result discarded")
 		}
 		cost, err := res.ContentionCost()
@@ -427,22 +436,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
-type solveFunc func(*faircache.Topology, int, int, *faircache.Options) (*faircache.Result, error)
-
-func solverFor(name string) (solveFunc, string, *Error) {
+// algorithmFor resolves a request's algorithm name (and its aliases) onto
+// the library's Algorithm identifier for a Solver request.
+func algorithmFor(name string) (faircache.Algorithm, string, *Error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "appx", "approximate", "":
-		return faircache.Approximate, "appx", nil
+		return faircache.AlgorithmApprox, "appx", nil
 	case "dist", "distribute", "distributed":
-		return faircache.Distribute, "dist", nil
+		return faircache.AlgorithmDistributed, "dist", nil
 	case "hopc", "hopcount":
-		return faircache.HopCountBaseline, "hopc", nil
+		return faircache.AlgorithmHopCount, "hopc", nil
 	case "cont", "contention":
-		return faircache.ContentionBaseline, "cont", nil
+		return faircache.AlgorithmContention, "cont", nil
 	case "brtf", "optimal", "exact":
-		return faircache.Optimal, "brtf", nil
+		return faircache.AlgorithmOptimal, "brtf", nil
 	default:
-		return nil, "", badRequestf("unknown algorithm %q (want appx, dist, hopc, cont or brtf)", name)
+		return "", "", badRequestf("unknown algorithm %q (want appx, dist, hopc, cont or brtf)", name)
 	}
 }
 
@@ -496,10 +505,10 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	v, err := tp.do(r.Context(), func() (any, error) {
+	v, err := tp.do(r.Context(), func(cctx context.Context) (any, error) {
 		pubs := make([]PublicationInfo, 0, req.Count)
 		for i := 0; i < req.Count; i++ {
-			pub, err := tp.online.Publish()
+			pub, err := tp.online.PublishCtx(cctx)
 			if err != nil {
 				return nil, err
 			}

@@ -36,10 +36,13 @@ type Snapshot struct {
 	Publications int `json:"publications"`
 }
 
-// command is one serialized mutation handed to a topology's worker.
+// command is one serialized mutation handed to a topology's worker. apply
+// receives the request context so the engine underneath can abort
+// mid-solve when the client disconnects or the deadline passes — not just
+// have its finished result discarded.
 type command struct {
 	ctx   context.Context
-	apply func() (any, error)
+	apply func(ctx context.Context) (any, error)
 	reply chan cmdResult
 }
 
@@ -63,6 +66,7 @@ type topology struct {
 	quitOnce sync.Once
 	wg       sync.WaitGroup
 	snap     atomic.Pointer[Snapshot]
+	solver   *faircache.Solver
 
 	// Worker-owned state below: only the run() goroutine touches it.
 	online  *faircache.OnlineSystem
@@ -73,6 +77,8 @@ type topology struct {
 // restore recovered state; version <= 1 with a nil snap is a fresh
 // registration (version 1, empty register snapshot).
 func newTopology(id, kind string, topo *faircache.Topology, producer, capacity int, online *faircache.OnlineSystem, version int, snap *Snapshot) *topology {
+	// NewSolver only fails on a nil topology, which every caller excludes.
+	solver, _ := faircache.NewSolver(topo)
 	tp := &topology{
 		id:       id,
 		kind:     kind,
@@ -82,6 +88,7 @@ func newTopology(id, kind string, topo *faircache.Topology, producer, capacity i
 		cmds:     make(chan *command),
 		quit:     make(chan struct{}),
 		online:   online,
+		solver:   solver,
 	}
 	if snap == nil {
 		snap = &Snapshot{
@@ -112,11 +119,13 @@ func (tp *topology) run() {
 		case <-tp.quit:
 			return
 		case cmd := <-tp.cmds:
+			// A request that expired while queued is skipped outright —
+			// starting a solve whose client is already gone is pure waste.
 			if err := cmd.ctx.Err(); err != nil {
 				cmd.reply <- cmdResult{err: timeoutf("request expired before the %s worker ran it: %v", tp.id, err)}
 				continue
 			}
-			v, err := cmd.apply()
+			v, err := cmd.apply(cmd.ctx)
 			cmd.reply <- cmdResult{value: v, err: err}
 		}
 	}
@@ -126,7 +135,7 @@ func (tp *topology) run() {
 // request deadline, or topology shutdown — whichever comes first. The
 // reply channel is buffered so an abandoned command never blocks the
 // worker.
-func (tp *topology) do(ctx context.Context, apply func() (any, error)) (any, error) {
+func (tp *topology) do(ctx context.Context, apply func(ctx context.Context) (any, error)) (any, error) {
 	cmd := &command{ctx: ctx, apply: apply, reply: make(chan cmdResult, 1)}
 	select {
 	case tp.cmds <- cmd:

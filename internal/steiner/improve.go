@@ -174,10 +174,11 @@ func tryExchange(g *graph.Graph, w graph.EdgeWeightFunc, edges []graph.Edge, kp 
 		}
 	}
 
-	// Cheapest reconnection into side B.
+	// Cheapest reconnection into side B. Scan in node order so ties break
+	// toward the smallest node id, independent of map iteration order.
 	bestNode, bestCost := -1, graph.Infinite
-	for v, s := range side {
-		if s == sideB && dist[v] < bestCost {
+	for v := 0; v < g.NumNodes(); v++ {
+		if s, ok := side[v]; ok && s == sideB && dist[v] < bestCost {
 			bestNode, bestCost = v, dist[v]
 		}
 	}

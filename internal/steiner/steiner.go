@@ -15,11 +15,13 @@
 package steiner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/pool"
 )
 
 // ErrDisconnected reports terminals that cannot be connected in the graph.
@@ -56,9 +58,17 @@ func (t Tree) Nodes() []int {
 //
 // Zero or one terminal yields an empty tree with cost 0.
 func MSTApprox(g *graph.Graph, w graph.EdgeWeightFunc, terminals []int) (Tree, error) {
+	return MSTApproxCtx(context.Background(), g, w, terminals, nil)
+}
+
+// MSTApproxCtx is MSTApprox with the per-terminal Dijkstra fan-out spread
+// over p and cancellation via ctx. Each terminal's distance and predecessor
+// vectors land in that terminal's own slot, so the tree is identical to the
+// sequential construction.
+func MSTApproxCtx(ctx context.Context, g *graph.Graph, w graph.EdgeWeightFunc, terminals []int, p *pool.Pool) (Tree, error) {
 	ts := uniqueSorted(terminals)
 	if len(ts) <= 1 {
-		return Tree{}, nil
+		return Tree{}, ctx.Err()
 	}
 	for _, t := range ts {
 		if t < 0 || t >= g.NumNodes() {
@@ -67,21 +77,34 @@ func MSTApprox(g *graph.Graph, w graph.EdgeWeightFunc, terminals []int) (Tree, e
 	}
 
 	// Shortest paths from every terminal.
+	dists := make([][]float64, len(ts))
+	preds := make([][]int, len(ts))
+	if err := p.ForEach(ctx, len(ts), func(i int) {
+		dists[i], preds[i] = g.Dijkstra(ts[i], w)
+	}); err != nil {
+		return Tree{}, err
+	}
 	dist := make(map[int][]float64, len(ts))
 	pred := make(map[int][]int, len(ts))
-	for _, t := range ts {
-		d, p := g.Dijkstra(t, w)
-		dist[t], pred[t] = d, p
+	for i, t := range ts {
+		dist[t], pred[t] = dists[i], preds[i]
 	}
 
-	// Prim's MST over the terminal metric closure.
+	// Prim's MST over the terminal metric closure. Candidates scan in
+	// ascending terminal order with a strict < so ties break toward the
+	// smallest (from, to) pair — the construction must be deterministic
+	// because placements are replayed byte-for-byte in WAL recovery and
+	// compared against the sequential engine in determinism tests.
 	inTree := map[int]bool{ts[0]: true}
 	type closureEdge struct{ from, to int }
 	var mst []closureEdge
 	for len(inTree) < len(ts) {
 		bestFrom, bestTo := -1, -1
 		bestD := graph.Infinite
-		for from := range inTree {
+		for _, from := range ts {
+			if !inTree[from] {
+				continue
+			}
 			for _, to := range ts {
 				if inTree[to] {
 					continue
@@ -108,11 +131,18 @@ func MSTApprox(g *graph.Graph, w graph.EdgeWeightFunc, terminals []int) (Tree, e
 	}
 
 	// MST of the expanded subgraph (drops any cycles from overlapping
-	// paths), then prune non-terminal leaves.
+	// paths), then prune non-terminal leaves. Canonical edge order before
+	// Kruskal keeps the whole pipeline independent of map iteration order.
 	edges := make([]graph.Edge, 0, len(edgeSet))
 	for e := range edgeSet {
 		edges = append(edges, e)
 	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
 	edges = subgraphMST(edges, w)
 	edges = pruneLeaves(edges, ts)
 

@@ -1,6 +1,7 @@
 package faircache
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -65,6 +66,7 @@ func NewOnline(t *Topology, producer int, opts *Options) (*OnlineSystem, error) 
 	if o.SpanQuorum > 0 {
 		onlineOpts.Core.ConFL.SpanQuorum = o.SpanQuorum
 	}
+	onlineOpts.Core.Workers = o.Workers
 	sys, err := online.New(t.g, producer, onlineOpts)
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
@@ -72,9 +74,20 @@ func NewOnline(t *Topology, producer int, opts *Options) (*OnlineSystem, error) 
 	return &OnlineSystem{sys: sys, topo: t}, nil
 }
 
-// Publish places the next chunk, evicting expired ones first.
+// Publish places the next chunk, evicting expired ones first. It is
+// PublishCtx with a background context.
 func (o *OnlineSystem) Publish() (*Publication, error) {
-	pub, err := o.sys.Publish()
+	return o.PublishCtx(context.Background())
+}
+
+// PublishCtx places the next chunk, evicting expired ones first. The
+// context governs the placement iteration: cancellation or deadline expiry
+// stops it mid-solve and surfaces as an error satisfying errors.Is with
+// ctx.Err(). A cancelled publication is not committed, but the clock tick
+// (and any TTL evictions it triggered) stands — time passed even though
+// the placement was abandoned.
+func (o *OnlineSystem) PublishCtx(ctx context.Context) (*Publication, error) {
+	pub, err := o.sys.PublishCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
 	}

@@ -1,0 +1,79 @@
+#!/bin/sh
+# ctxlint: the context-first API gate.
+#
+# Two rules, enforced over every non-test .go file:
+#
+#   1. An exported function whose name ends in "Ctx" must take
+#      "ctx context.Context" as its FIRST parameter.
+#   2. An exported solve entry point (Solve*/Place*/Publish*/Select* and
+#      the five algorithm wrappers) that does NOT take a context must be
+#      on the allowlist below. The allowlist freezes the deprecated
+#      pre-context API; new entry points must be context-first, so any
+#      unlisted match fails the build.
+#
+# Run from the repository root: ./scripts/ctxlint.sh
+set -u
+
+fail=0
+
+# ---- rule 1: *Ctx functions take ctx context.Context first -------------
+bad_ctx=$(grep -rn --include='*.go' --exclude='*_test.go' \
+    -E '^func (\([^)]+\) )?[A-Z][A-Za-z0-9]*Ctx\(' . |
+    grep -v -E '\((ctx context\.Context|_ context\.Context)')
+if [ -n "$bad_ctx" ]; then
+    echo "ctxlint: *Ctx entry points must take 'ctx context.Context' as the first parameter:" >&2
+    echo "$bad_ctx" >&2
+    fail=1
+fi
+
+# ---- rule 2: non-context solve entry points are frozen ------------------
+# Allowlist of deprecated wrappers and offline reference solvers, one
+# "file:Func" per line. Do NOT add new entries: write the context-first
+# variant instead and, if a compat shim is genuinely needed, bring it to
+# review with a Deprecated: doc comment.
+allowlist='
+./faircache.go:Approximate
+./faircache.go:Distribute
+./faircache.go:HopCountBaseline
+./faircache.go:ContentionBaseline
+./faircache.go:Optimal
+./online.go:Publish
+./internal/baseline/baseline.go:SelectNodes
+./internal/baseline/baseline.go:PlaceChunks
+./internal/confl/confl.go:Solve
+./internal/confl/greedy.go:SolveGreedy
+./internal/core/core.go:Place
+./internal/core/core.go:PlaceOne
+./internal/dist/dist.go:PlaceChunks
+./internal/exact/exact.go:SolveChunk
+./internal/exact/exact.go:PlaceChunks
+./internal/online/online.go:Publish
+./internal/ilp/ilp.go:SolveChunk
+./internal/lp/lp.go:Solve
+'
+
+matches=$(grep -rn --include='*.go' --exclude='*_test.go' \
+    -E '^func (\([^)]+\) )?(Solve|Place|Publish|Select|Approximate|Distribute|Optimal|HopCountBaseline|ContentionBaseline)[A-Za-z0-9]*\(.*(\*?Options|\*?cache\.State|producer|chunks|Request)' . |
+    grep -v 'context\.Context')
+
+echo "$matches" | while IFS= read -r line; do
+    [ -z "$line" ] && continue
+    file=${line%%:*}
+    rest=${line#*:}          # strip file
+    rest=${rest#*:}          # strip line number
+    name=$(printf '%s' "$rest" | sed -E 's/^func (\([^)]+\) )?([A-Za-z0-9]+)\(.*/\2/')
+    case "$allowlist" in
+    *"$file:$name"*) ;;
+    *)
+        echo "ctxlint: new solve entry point without a context.Context first parameter:" >&2
+        echo "  $line" >&2
+        echo "  (context-first is the API contract; see scripts/ctxlint.sh)" >&2
+        exit 1
+        ;;
+    esac
+done || fail=1
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "ctxlint: ok"

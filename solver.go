@@ -1,0 +1,192 @@
+package faircache
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/pool"
+)
+
+// Request describes one placement solve: which node produces the data, how
+// many chunks to place, which of the paper's algorithms to run and any
+// option overrides. The zero Algorithm selects AlgorithmApprox and a nil
+// Options means "paper defaults", so the minimal request is
+// Request{Producer: p, Chunks: q}.
+type Request struct {
+	// Producer is the data producer node (never caches).
+	Producer int
+	// Chunks is the number of chunks to place (ids 0..Chunks-1).
+	Chunks int
+	// Algorithm selects the placement algorithm; "" means AlgorithmApprox.
+	Algorithm Algorithm
+	// Options overrides the paper defaults; nil keeps them all.
+	Options *Options
+}
+
+// Solver is the context-first entry point of the library: it binds a
+// topology once and then answers placement requests for any algorithm,
+// producer and option set via Solve. Construction is cheap; the solver
+// additionally memoises the topology's shortest-path structure across
+// solves, so a long-lived Solver (a placement service holds one per
+// topology) answers repeat requests faster than the one-shot top-level
+// functions. A Solver is safe for concurrent use.
+type Solver struct {
+	topo *Topology
+	pc   *graph.PathCache
+}
+
+// NewSolver returns a Solver bound to the given topology.
+func NewSolver(t *Topology) (*Solver, error) {
+	if t == nil || t.g == nil {
+		return nil, fmt.Errorf("%w: nil topology", ErrBadArgument)
+	}
+	return &Solver{topo: t, pc: graph.NewPathCache(t.g)}, nil
+}
+
+// Topology returns the topology the solver is bound to.
+func (s *Solver) Topology() *Topology { return s.topo }
+
+// Solve runs one placement request. The context governs the whole solve:
+// cancellation or deadline expiry stops the engine mid-solve (between
+// chunks and inside each chunk's dual-growth, search and tree phases) and
+// surfaces as an error satisfying errors.Is with ctx.Err(). Invalid
+// requests fail with an error satisfying errors.Is(err, ErrBadArgument).
+// Independent inner work fans out over Options.Workers; the result is
+// byte-identical at any worker count.
+func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	alg := req.Algorithm
+	if alg == "" {
+		alg = AlgorithmApprox
+	}
+	if n := s.topo.NumNodes(); req.Producer < 0 || req.Producer >= n {
+		return nil, fmt.Errorf("%w: producer %d out of range [0,%d)", ErrBadArgument, req.Producer, n)
+	}
+	if req.Chunks <= 0 {
+		return nil, fmt.Errorf("%w: chunk count %d must be positive", ErrBadArgument, req.Chunks)
+	}
+	o := req.Options.withDefaults()
+	switch alg {
+	case AlgorithmApprox:
+		return s.solveApprox(ctx, req, o)
+	case AlgorithmDistributed:
+		return s.solveDistributed(ctx, req, o)
+	case AlgorithmHopCount:
+		return s.solveBaseline(ctx, req, o, baseline.HopCount, AlgorithmHopCount, metrics.AccessHopNearest)
+	case AlgorithmContention:
+		return s.solveBaseline(ctx, req, o, baseline.Contention, AlgorithmContention, metrics.AccessTopologyNearest)
+	case AlgorithmOptimal:
+		return s.solveOptimal(ctx, req, o)
+	default:
+		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrBadArgument, string(alg))
+	}
+}
+
+// solveApprox runs the paper's centralized approximation (Algorithm 1).
+func (s *Solver) solveApprox(ctx context.Context, req Request, o Options) (*Result, error) {
+	coreOpts := core.DefaultOptions()
+	coreOpts.FairnessWeight = o.FairnessWeight
+	coreOpts.BatteryWeight = o.BatteryWeight
+	if o.GreedyConFL {
+		coreOpts.Strategy = core.Greedy
+	}
+	coreOpts.ImproveSteiner = o.ImproveSteiner
+	if o.AlphaStep > 0 {
+		coreOpts.ConFL.AlphaStep = o.AlphaStep
+	}
+	if o.GammaStep > 0 {
+		coreOpts.ConFL.GammaStep = o.GammaStep
+	}
+	if o.SpanQuorum > 0 {
+		coreOpts.ConFL.SpanQuorum = o.SpanQuorum
+	}
+	coreOpts.Workers = o.Workers
+	coreOpts.ChunkStarted = o.ChunkStarted
+	coreOpts.PathCache = s.pc
+	solver, err := core.New(s.topo.g, coreOpts)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	st := newState(s.topo, o)
+	base := st.Clone()
+	p, err := solver.PlaceCtx(ctx, req.Producer, req.Chunks, st)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	return newResult(s.topo, AlgorithmApprox, req.Producer, req.Chunks, o.Capacity, p.CacheNodes(), st, base, metrics.AccessCostNearest), nil
+}
+
+// solveDistributed runs the distributed protocol (Algorithm 2) on the
+// deterministic message-round simulator.
+func (s *Solver) solveDistributed(ctx context.Context, req Request, o Options) (*Result, error) {
+	distOpts := dist.DefaultOptions()
+	distOpts.K = o.HopLimit
+	distOpts.FairnessWeight = o.FairnessWeight
+	distOpts.BatteryWeight = o.BatteryWeight
+	if o.AlphaStep > 0 {
+		distOpts.AlphaStep = o.AlphaStep
+	}
+	if o.GammaStep > 0 {
+		distOpts.GammaStep = o.GammaStep
+	}
+	if o.SpanQuorum > 0 {
+		distOpts.SpanQuorum = o.SpanQuorum
+	}
+	protocol, err := dist.New(s.topo.g, distOpts)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	st := newState(s.topo, o)
+	base := st.Clone()
+	p, err := protocol.PlaceChunksCtx(ctx, req.Producer, req.Chunks, st)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	res := newResult(s.topo, AlgorithmDistributed, req.Producer, req.Chunks, o.Capacity, p.CacheNodes(), st, base, metrics.AccessCostNearest)
+	res.Messages = p.MessagesByKind()
+	return res, nil
+}
+
+// solveBaseline runs one of the two greedy comparison algorithms with the
+// paper's multi-item extension.
+func (s *Solver) solveBaseline(ctx context.Context, req Request, o Options, alg baseline.Algorithm, name Algorithm, strategy metrics.AccessStrategy) (*Result, error) {
+	lambda := o.Lambda
+	if lambda <= 0 {
+		lambda = baseline.RecommendedLambda(alg, s.topo.NumNodes())
+	}
+	st := newState(s.topo, o)
+	base := st.Clone()
+	pl := pool.New(pool.Normalize(o.Workers))
+	defer pl.Close()
+	p, err := baseline.PlaceChunksCtx(ctx, s.topo.g, req.Producer, req.Chunks, st, alg, lambda, pl)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	return newResult(s.topo, name, req.Producer, req.Chunks, o.Capacity, p.Holders, st, base, strategy), nil
+}
+
+// solveOptimal runs the exact per-chunk branch-and-bound reference.
+func (s *Solver) solveOptimal(ctx context.Context, req Request, o Options) (*Result, error) {
+	exOpts := exact.DefaultOptions()
+	exOpts.FairnessWeight = o.FairnessWeight
+	exOpts.NodeBudget = o.SearchBudget
+	exOpts.MaxSubsetSize = o.SearchWidth
+	exOpts.Workers = o.Workers
+	st := newState(s.topo, o)
+	base := st.Clone()
+	p, err := exact.PlaceChunksCtx(ctx, s.topo.g, req.Producer, req.Chunks, st, exOpts)
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	res := newResult(s.topo, AlgorithmOptimal, req.Producer, req.Chunks, o.Capacity, p.CacheNodes(), st, base, metrics.AccessCostNearest)
+	res.ProvenOptimal = p.Optimal()
+	return res, nil
+}

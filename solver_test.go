@@ -1,0 +1,318 @@
+package faircache_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	faircache "repro"
+)
+
+// topologies returns the three network models of the paper's evaluation,
+// built with fixed seeds.
+func testTopologies(t *testing.T) map[string]*faircache.Topology {
+	t.Helper()
+	grid, err := faircache.Grid(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := faircache.Random(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := faircache.Clustered(4, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*faircache.Topology{
+		"grid":      grid,
+		"random":    random,
+		"clustered": clustered,
+	}
+}
+
+func sameResult(t *testing.T, label string, want, got *faircache.Result) {
+	t.Helper()
+	if len(want.Holders) != len(got.Holders) {
+		t.Fatalf("%s: %d chunks != %d chunks", label, len(got.Holders), len(want.Holders))
+	}
+	for n := range want.Holders {
+		if len(want.Holders[n]) != len(got.Holders[n]) {
+			t.Fatalf("%s chunk %d: holders %v != %v", label, n, got.Holders[n], want.Holders[n])
+		}
+		for k := range want.Holders[n] {
+			if want.Holders[n][k] != got.Holders[n][k] {
+				t.Fatalf("%s chunk %d: holders %v != %v", label, n, got.Holders[n], want.Holders[n])
+			}
+		}
+	}
+	for i := range want.Counts {
+		if want.Counts[i] != got.Counts[i] {
+			t.Fatalf("%s: counts[%d] %d != %d", label, i, got.Counts[i], want.Counts[i])
+		}
+	}
+	if math.Float64bits(want.Gini()) != math.Float64bits(got.Gini()) {
+		t.Fatalf("%s: gini %v != %v", label, got.Gini(), want.Gini())
+	}
+	wantCost, err := want.ContentionCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCost, err := got.ContentionCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(wantCost.Total()) != math.Float64bits(gotCost.Total()) {
+		t.Fatalf("%s: cost %v != %v", label, gotCost.Total(), wantCost.Total())
+	}
+}
+
+// TestSolveParallelMatchesSequential is the engine's determinism contract
+// at the public API: for fixed seeds, the parallel engine must produce
+// byte-identical holder sets, counts, Gini and contention cost to the
+// sequential reference, on every topology model and algorithm.
+func TestSolveParallelMatchesSequential(t *testing.T) {
+	algorithms := []faircache.Algorithm{
+		faircache.AlgorithmApprox,
+		faircache.AlgorithmHopCount,
+		faircache.AlgorithmContention,
+	}
+	for name, topo := range testTopologies(t) {
+		solver, err := faircache.NewSolver(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		producer := topo.CentralNode()
+		for _, alg := range algorithms {
+			seq, err := solver.Solve(context.Background(), faircache.Request{
+				Producer:  producer,
+				Chunks:    6,
+				Algorithm: alg,
+				Options:   &faircache.Options{Workers: 1},
+			})
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", name, alg, err)
+			}
+			for _, workers := range []int{0, 2, 4} {
+				par, err := solver.Solve(context.Background(), faircache.Request{
+					Producer:  producer,
+					Chunks:    6,
+					Algorithm: alg,
+					Options:   &faircache.Options{Workers: workers},
+				})
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", name, alg, workers, err)
+				}
+				sameResult(t, name+"/"+string(alg), seq, par)
+			}
+		}
+	}
+}
+
+// TestSolverConcurrentStress hammers one Solver from many goroutines (run
+// with -race): every solve must match the single-threaded reference.
+func TestSolverConcurrentStress(t *testing.T) {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := faircache.Request{Producer: 9, Chunks: 5}
+	ref, err := solver.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	results := make([]*faircache.Result, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = solver.Solve(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		sameResult(t, "concurrent", ref, results[i])
+	}
+}
+
+func TestSolveBadArguments(t *testing.T) {
+	topo, err := faircache.Grid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		req  faircache.Request
+	}{
+		{"producer negative", faircache.Request{Producer: -1, Chunks: 1}},
+		{"producer out of range", faircache.Request{Producer: 16, Chunks: 1}},
+		{"zero chunks", faircache.Request{Producer: 0, Chunks: 0}},
+		{"negative chunks", faircache.Request{Producer: 0, Chunks: -3}},
+		{"unknown algorithm", faircache.Request{Producer: 0, Chunks: 1, Algorithm: "Nope"}},
+	}
+	for _, c := range cases {
+		_, err := solver.Solve(context.Background(), c.req)
+		if !errors.Is(err, faircache.ErrBadArgument) {
+			t.Errorf("%s: err = %v, want errors.Is(ErrBadArgument)", c.name, err)
+		}
+	}
+	if _, err := faircache.NewSolver(nil); !errors.Is(err, faircache.ErrBadArgument) {
+		t.Errorf("NewSolver(nil): err = %v, want errors.Is(ErrBadArgument)", err)
+	}
+}
+
+func TestSolvePreCancelled(t *testing.T) {
+	topo, err := faircache.Grid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range []faircache.Algorithm{
+		faircache.AlgorithmApprox,
+		faircache.AlgorithmDistributed,
+		faircache.AlgorithmHopCount,
+		faircache.AlgorithmContention,
+		faircache.AlgorithmOptimal,
+	} {
+		_, err := solver.Solve(ctx, faircache.Request{
+			Producer:  0,
+			Chunks:    2,
+			Algorithm: alg,
+			Options:   &faircache.Options{SearchWidth: 2, SearchBudget: 100},
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", alg, err)
+		}
+	}
+}
+
+// TestSolveCancelMidSolve uses the ChunkStarted observability hook to
+// cancel after the second chunk begins and asserts the engine stopped
+// there instead of placing the remaining chunks.
+func TestSolveCancelMidSolve(t *testing.T) {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunks = 12
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := 0
+	_, err = solver.Solve(ctx, faircache.Request{
+		Producer: 9,
+		Chunks:   chunks,
+		Options: &faircache.Options{
+			ChunkStarted: func(chunk int) {
+				started++
+				if chunk == 1 {
+					cancel()
+				}
+			},
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started >= chunks {
+		t.Fatalf("all %d chunks started despite cancellation", started)
+	}
+}
+
+func TestSolveDeadlineExceeded(t *testing.T) {
+	topo, err := faircache.Grid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	_, err = solver.Solve(ctx, faircache.Request{Producer: 0, Chunks: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestDeprecatedWrappersMatchSolver pins the compatibility contract: the
+// old positional-argument functions must produce exactly what a Solve
+// with a background context produces.
+func TestDeprecatedWrappersMatchSolver(t *testing.T) {
+	topo, err := faircache.Grid(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrappers := map[faircache.Algorithm]func(*faircache.Topology, int, int, *faircache.Options) (*faircache.Result, error){
+		faircache.AlgorithmApprox:     faircache.Approximate,
+		faircache.AlgorithmHopCount:   faircache.HopCountBaseline,
+		faircache.AlgorithmContention: faircache.ContentionBaseline,
+	}
+	for alg, fn := range wrappers {
+		old, err := fn(topo, 9, 5, nil)
+		if err != nil {
+			t.Fatalf("%s wrapper: %v", alg, err)
+		}
+		res, err := solver.Solve(context.Background(), faircache.Request{
+			Producer:  9,
+			Chunks:    5,
+			Algorithm: alg,
+		})
+		if err != nil {
+			t.Fatalf("%s solve: %v", alg, err)
+		}
+		sameResult(t, string(alg), old, res)
+	}
+}
+
+func TestOnlinePublishCtxCancelled(t *testing.T) {
+	topo, err := faircache.Grid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := faircache.NewOnline(topo, 5, &faircache.Options{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.PublishCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PublishCtx: err = %v, want context.Canceled", err)
+	}
+	if sys.Clock() != 0 {
+		t.Fatalf("pre-cancelled publish advanced the clock to %d", sys.Clock())
+	}
+	if _, err := sys.PublishCtx(context.Background()); err != nil {
+		t.Fatalf("publish after cancelled attempt: %v", err)
+	}
+}
