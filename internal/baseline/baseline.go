@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/contention"
+	"repro/internal/costmodel"
 	"repro/internal/graph"
 	"repro/internal/pool"
 )
@@ -100,6 +101,27 @@ func SelectNodesCtx(ctx context.Context, g *graph.Graph, producer int, alg Algor
 	if err != nil {
 		return nil, err
 	}
+	return selectFromMatrix(ctx, g, dist, producer, lambda, p)
+}
+
+// SelectNodesModelCtx is SelectNodesCtx with the delay metric served by a
+// warm cost model instead of recomputed per call: hop distances come from
+// the model's cached per-source BFS and the contention metric from its
+// memoised matrix. m must be a model over the same graph with an empty
+// cache state — both baselines ignore already-cached data by design, so
+// their metrics are topology-only and the placement service's per-topology
+// base model is exactly the right oracle.
+func SelectNodesModelCtx(ctx context.Context, m *costmodel.Model, producer int, alg Algorithm, lambda float64, p *pool.Pool) ([]int, error) {
+	dist, err := distanceMatrixModelCtx(ctx, m, alg, p)
+	if err != nil {
+		return nil, err
+	}
+	return selectFromMatrix(ctx, m.Graph(), dist, producer, lambda, p)
+}
+
+// selectFromMatrix runs the greedy facility placement over a prebuilt
+// distance matrix.
+func selectFromMatrix(ctx context.Context, g *graph.Graph, dist [][]float64, producer int, lambda float64, p *pool.Pool) ([]int, error) {
 	n := g.NumNodes()
 	if n == 0 || (producer < 0 && n < 1) {
 		return nil, ErrNoCandidates
@@ -200,6 +222,30 @@ func distanceMatrixCtx(ctx context.Context, g *graph.Graph, alg Algorithm, p *po
 	}
 }
 
+// distanceMatrixModelCtx serves the delay metric from a warm cost model:
+// the hop matrix is memoised inside the model and the contention matrix is
+// the model's incrementally maintained one (read-only borrow). The model's
+// state must be empty so the contention metric stays topology-only.
+func distanceMatrixModelCtx(ctx context.Context, m *costmodel.Model, alg Algorithm, p *pool.Pool) ([][]float64, error) {
+	switch alg {
+	case HopCount:
+		return m.HopMatrixCtx(ctx, p)
+	case Contention:
+		for i := 0; i < m.State().NumNodes(); i++ {
+			if m.State().Stored(i) != 0 {
+				return nil, fmt.Errorf("baseline: model state is not empty (node %d caches data); the baselines' metric is topology-only", i)
+			}
+		}
+		costs, err := m.CostsCtx(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		return costs.C, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadAlgorithm, int(alg))
+	}
+}
+
 func oneMedian(dist [][]float64) (int, error) {
 	best, bestSum := -1, math.Inf(1)
 	for v := range dist {
@@ -255,6 +301,24 @@ func PlaceChunks(g *graph.Graph, producer, chunks int, st *cache.State, alg Algo
 // chunk and inside each set-selection round; p parallelises the rounds'
 // distance matrices and candidate scans (see SelectNodesCtx).
 func PlaceChunksCtx(ctx context.Context, g *graph.Graph, producer, chunks int, st *cache.State, alg Algorithm, lambda float64, pl *pool.Pool) (*Placement, error) {
+	return placeChunks(ctx, g, nil, producer, chunks, st, alg, lambda, pl)
+}
+
+// PlaceChunksModelCtx is PlaceChunksCtx with the first selection round's
+// delay metric served by a warm cost model over the full topology (see
+// SelectNodesModelCtx; the model must be empty-state over g and is only
+// read, never mutated — baseline commits do not feed back into the
+// metric). Later rounds run on induced subgraphs, a different topology the
+// model does not cover, so they recompute their (much smaller) matrices
+// as before.
+func PlaceChunksModelCtx(ctx context.Context, m *costmodel.Model, producer, chunks int, st *cache.State, alg Algorithm, lambda float64, pl *pool.Pool) (*Placement, error) {
+	if m == nil {
+		return nil, errors.New("baseline: nil cost model")
+	}
+	return placeChunks(ctx, m.Graph(), m, producer, chunks, st, alg, lambda, pl)
+}
+
+func placeChunks(ctx context.Context, g *graph.Graph, m *costmodel.Model, producer, chunks int, st *cache.State, alg Algorithm, lambda float64, pl *pool.Pool) (*Placement, error) {
 	if producer < 0 || producer >= g.NumNodes() {
 		return nil, fmt.Errorf("baseline: producer %d out of range [0,%d)", producer, g.NumNodes())
 	}
@@ -279,7 +343,7 @@ func PlaceChunksCtx(ctx context.Context, g *graph.Graph, producer, chunks int, s
 			return nil, fmt.Errorf("baseline: chunk %d: %w", n, err)
 		}
 		if !hasVacancy(st, curSet) {
-			next, err := nextSet(ctx, g, producer, st, used, alg, lambda, len(p.Rounds) == 0, pl)
+			next, err := nextSet(ctx, g, m, producer, st, used, alg, lambda, len(p.Rounds) == 0, pl)
 			if err != nil {
 				return nil, err
 			}
@@ -325,11 +389,18 @@ func hasVacancy(st *cache.State, set []int) bool {
 }
 
 // nextSet selects the next caching set. The first round runs on the whole
-// graph with the producer as a free facility; later rounds run on the
-// largest connected component of the unchosen remainder.
-func nextSet(ctx context.Context, g *graph.Graph, producer int, st *cache.State, used []bool, alg Algorithm, lambda float64, firstRound bool, pl *pool.Pool) ([]int, error) {
+// graph with the producer as a free facility (using the warm model's
+// metric when one was supplied); later rounds run on the largest connected
+// component of the unchosen remainder.
+func nextSet(ctx context.Context, g *graph.Graph, m *costmodel.Model, producer int, st *cache.State, used []bool, alg Algorithm, lambda float64, firstRound bool, pl *pool.Pool) ([]int, error) {
 	if firstRound {
-		sel, err := SelectNodesCtx(ctx, g, producer, alg, lambda, pl)
+		var sel []int
+		var err error
+		if m != nil {
+			sel, err = SelectNodesModelCtx(ctx, m, producer, alg, lambda, pl)
+		} else {
+			sel, err = SelectNodesCtx(ctx, g, producer, alg, lambda, pl)
+		}
 		if err != nil {
 			return nil, err
 		}

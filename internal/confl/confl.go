@@ -31,9 +31,14 @@ type Instance struct {
 	Producer int
 	// FacilityCost holds the opening cost f_i per node (the Fairness
 	// Degree Cost). +Inf marks nodes that must not cache (full storage).
-	// The producer's entry is ignored.
+	// The producer's entry is ignored. The slice is borrowed, not copied:
+	// Algorithm 1 hands in views owned by its incremental cost model, so
+	// the dual growth must treat it as read-only (it does — both cost
+	// inputs are only ever read) and must not retain it past the solve.
 	FacilityCost []float64
-	// ConnCost is the symmetric path contention cost matrix c_ij.
+	// ConnCost is the symmetric path contention cost matrix c_ij. Like
+	// FacilityCost it is a read-only borrow from the caller's cost model,
+	// valid for the duration of one solve.
 	ConnCost [][]float64
 	// PreOpen lists nodes already caching the chunk; they behave like the
 	// producer (open facilities with no further opening cost).

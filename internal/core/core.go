@@ -13,11 +13,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/cache"
 	"repro/internal/confl"
-	"repro/internal/contention"
+	"repro/internal/costmodel"
 	"repro/internal/graph"
 	"repro/internal/pool"
 	"repro/internal/steiner"
@@ -193,25 +192,69 @@ func (s *Solver) PlaceCtx(ctx context.Context, producer, chunks int, st *cache.S
 	if st == nil || st.NumNodes() != s.g.NumNodes() {
 		return nil, ErrBadState
 	}
+	m, err := costmodel.New(s.g, s.pc, st, s.modelOptions())
+	if err != nil {
+		return nil, ErrBadState
+	}
+	return s.PlaceModelCtx(ctx, producer, chunks, m)
+}
+
+// PlaceModelCtx is PlaceCtx against a caller-owned cost model, the hook
+// for warm solves: the placement service forks a pre-built topology model
+// instead of paying the cold matrix build, and the online system keeps one
+// model alive across publications. The model must be bound to this
+// solver's graph and carry the same fairness/battery weights; the cache
+// state placed into is the model's own.
+func (s *Solver) PlaceModelCtx(ctx context.Context, producer, chunks int, m *costmodel.Model) (*Placement, error) {
+	if producer < 0 || producer >= s.g.NumNodes() {
+		return nil, fmt.Errorf("%w: %d", ErrBadProducer, producer)
+	}
+	if chunks <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadChunks, chunks)
+	}
+	if err := s.checkModel(m); err != nil {
+		return nil, err
+	}
 
 	pl := pool.New(s.effectiveWorkers())
 	defer pl.Close()
 
 	placement := &Placement{
 		Producer: producer,
-		State:    st,
+		State:    m.State(),
 	}
 	for n := 0; n < chunks; n++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("chunk %d: %w", n, err)
 		}
-		res, err := s.placeChunk(ctx, producer, n, st, pl)
+		res, err := s.placeChunk(ctx, producer, n, m, pl)
 		if err != nil {
 			return nil, fmt.Errorf("chunk %d: %w", n, err)
 		}
 		placement.Chunks = append(placement.Chunks, *res)
 	}
 	return placement, nil
+}
+
+// modelOptions maps the solver's options onto the cost model's.
+func (s *Solver) modelOptions() costmodel.Options {
+	return costmodel.Options{
+		FairnessWeight: s.opts.FairnessWeight,
+		BatteryWeight:  s.opts.BatteryWeight,
+	}
+}
+
+// checkModel rejects models bound to another topology or weighted
+// differently than this solver — either would silently change placements.
+func (s *Solver) checkModel(m *costmodel.Model) error {
+	if m == nil || m.Graph() != s.g || m.State() == nil || m.State().NumNodes() != s.g.NumNodes() {
+		return ErrBadState
+	}
+	if mo := m.Options(); mo.FairnessWeight != s.opts.FairnessWeight || mo.BatteryWeight != s.opts.BatteryWeight {
+		return fmt.Errorf("%w: model weights (%g, %g) differ from solver options (%g, %g)",
+			ErrBadState, mo.FairnessWeight, mo.BatteryWeight, s.opts.FairnessWeight, s.opts.BatteryWeight)
+	}
+	return nil
 }
 
 // PlaceOne runs a single iteration of Algorithm 1 for an arbitrary chunk
@@ -224,15 +267,30 @@ func (s *Solver) PlaceOne(producer, chunkID int, st *cache.State) (*ChunkResult,
 // PlaceOneCtx is PlaceOne with cancellation and parallel inner work (see
 // PlaceCtx).
 func (s *Solver) PlaceOneCtx(ctx context.Context, producer, chunkID int, st *cache.State) (*ChunkResult, error) {
-	if producer < 0 || producer >= s.g.NumNodes() {
-		return nil, fmt.Errorf("%w: %d", ErrBadProducer, producer)
-	}
 	if st == nil || st.NumNodes() != s.g.NumNodes() {
 		return nil, ErrBadState
 	}
+	m, err := costmodel.New(s.g, s.pc, st, s.modelOptions())
+	if err != nil {
+		return nil, ErrBadState
+	}
+	return s.PlaceOneModelCtx(ctx, producer, chunkID, m)
+}
+
+// PlaceOneModelCtx is PlaceOneCtx against a caller-owned cost model (see
+// PlaceModelCtx). The online system keeps one model alive across
+// publications and TTL evictions, so each arrival pays only the delta
+// repair instead of a full cost rebuild.
+func (s *Solver) PlaceOneModelCtx(ctx context.Context, producer, chunkID int, m *costmodel.Model) (*ChunkResult, error) {
+	if producer < 0 || producer >= s.g.NumNodes() {
+		return nil, fmt.Errorf("%w: %d", ErrBadProducer, producer)
+	}
+	if err := s.checkModel(m); err != nil {
+		return nil, err
+	}
 	pl := pool.New(s.effectiveWorkers())
 	defer pl.Close()
-	return s.placeChunk(ctx, producer, chunkID, st, pl)
+	return s.placeChunk(ctx, producer, chunkID, m, pl)
 }
 
 // effectiveWorkers maps Options.Workers onto a pool width: 0 means
@@ -240,14 +298,16 @@ func (s *Solver) PlaceOneCtx(ctx context.Context, producer, chunkID int, st *cac
 func (s *Solver) effectiveWorkers() int { return pool.Normalize(s.opts.Workers) }
 
 // placeChunk runs one iteration of Algorithm 1 for chunk n.
-func (s *Solver) placeChunk(ctx context.Context, producer, n int, st *cache.State, pl *pool.Pool) (*ChunkResult, error) {
+func (s *Solver) placeChunk(ctx context.Context, producer, n int, m *costmodel.Model, pl *pool.Pool) (*ChunkResult, error) {
 	if hook := s.opts.ChunkStarted; hook != nil {
 		hook(n)
 	}
 
 	// Lines 5-16: refresh fairness and contention costs from the state.
-	fc := s.facilityCosts(producer, st)
-	costs, err := contention.ComputeCostsCtx(ctx, s.g, st, s.pc, pl)
+	// The model repairs only the entries the previous chunk's commits
+	// dirtied; the first call on a cold model pays the one full build.
+	fc := m.FacilityCosts(producer)
+	costs, err := m.CostsCtx(ctx, pl)
 	if err != nil {
 		return nil, err
 	}
@@ -291,7 +351,7 @@ func (s *Solver) placeChunk(ctx context.Context, producer, n int, st *cache.Stat
 	// Phase 2 (line 47): Steiner tree connecting ADMIN set and producer.
 	if len(sol.Facilities) > 0 {
 		terminals := append(append([]int(nil), sol.Facilities...), producer)
-		edgeCost := contention.EdgeCostFunc(s.g, st)
+		edgeCost := m.EdgeCostFunc()
 		tree, err := steiner.MSTApproxCtx(ctx, s.g, edgeCost, terminals, pl)
 		if err != nil {
 			return nil, err
@@ -303,28 +363,12 @@ func (s *Solver) placeChunk(ctx context.Context, producer, n int, st *cache.Stat
 		res.Dissemination = tree.Cost
 	}
 
-	// Commit: L(n) ← A (line 48).
+	// Commit: L(n) ← A (line 48) — through the model, so the next chunk's
+	// refresh is a delta repair, not a rebuild.
 	for _, i := range sol.Facilities {
-		if err := st.Store(i, n); err != nil {
+		if err := m.Commit(i, n); err != nil {
 			return nil, fmt.Errorf("store on node %d: %w", i, err)
 		}
 	}
 	return res, nil
-}
-
-// facilityCosts returns the weighted fairness costs — storage plus the
-// optional battery term (footnote 1) — with the producer excluded from
-// caching (the paper's producer stores nothing and is not included in
-// cost calculation). Full nodes stay excluded (+Inf) even at weight 0.
-func (s *Solver) facilityCosts(producer int, st *cache.State) []float64 {
-	fc := make([]float64, st.NumNodes())
-	for i := range fc {
-		if st.Free(i) <= 0 {
-			fc[i] = math.Inf(1)
-			continue
-		}
-		fc[i] = st.CombinedFairnessCost(i, s.opts.FairnessWeight, s.opts.BatteryWeight)
-	}
-	fc[producer] = math.Inf(1)
-	return fc
 }

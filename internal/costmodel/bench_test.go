@@ -1,0 +1,117 @@
+package costmodel
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// refreshCycle replays Algorithm 1's hot loop against m: for each of
+// chunks iterations it commits a small ADMIN-like set of nodes and then
+// reads the refreshed cost matrix, exactly the refresh the per-chunk loop
+// pays. The node choice is deterministic so the incremental and full
+// variants do identical logical work.
+func refreshCycle(b *testing.B, m *Model, chunks, perChunk, n int) {
+	b.Helper()
+	ctx := context.Background()
+	for c := 0; c < chunks; c++ {
+		committed := 0
+		for j := 0; committed < perChunk; j++ {
+			node := (c*37 + j*13) % n
+			if m.State().Free(node) <= 0 || m.State().Has(node, c) {
+				continue
+			}
+			if err := m.Commit(node, c); err != nil {
+				b.Fatalf("commit(%d,%d): %v", node, c, err)
+			}
+			committed++
+		}
+		if _, err := m.CostsCtx(ctx, nil); err != nil {
+			b.Fatalf("refresh: %v", err)
+		}
+	}
+}
+
+// benchCostRefresh measures the per-chunk cost refresh on a 15×15 grid
+// (225 nodes) over 8 chunks with 5 commits each — the ≥200-node, Q≥8
+// scenario the acceptance criteria name. The cold build runs outside the
+// timer; what is measured is exactly the per-chunk refresh work.
+func benchCostRefresh(b *testing.B, disableIncremental bool) {
+	const (
+		rows, cols = 15, 15
+		chunks     = 8
+		perChunk   = 5
+	)
+	g := gridGraph(b, rows, cols)
+	n := g.NumNodes()
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := cache.NewState(n, chunks)
+		m, err := New(g, nil, st, Options{FairnessWeight: 1, DisableIncremental: disableIncremental})
+		if err != nil {
+			b.Fatalf("New: %v", err)
+		}
+		if err := m.RefreshCtx(ctx, nil); err != nil {
+			b.Fatalf("cold build: %v", err)
+		}
+		b.StartTimer()
+		refreshCycle(b, m, chunks, perChunk, n)
+	}
+}
+
+// BenchmarkCostRefreshIncremental is the delta-update path: each chunk's
+// refresh repairs only the cost entries whose cached shortest paths cross
+// the handful of freshly committed nodes.
+func BenchmarkCostRefreshIncremental(b *testing.B) {
+	benchCostRefresh(b, false)
+}
+
+// BenchmarkCostRefreshFull is the correctness-fallback path and the
+// pre-refactor behavior: every refresh recomputes all N sweeps.
+func BenchmarkCostRefreshFull(b *testing.B) {
+	benchCostRefresh(b, true)
+}
+
+// BenchmarkTopologyModelCold measures the from-scratch model build a cold
+// solve pays (BFS layers plus the all-pairs sweep).
+func BenchmarkTopologyModelCold(b *testing.B) {
+	g := gridGraph(b, 15, 15)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(g, nil, cache.NewState(g.NumNodes(), 1), Options{FairnessWeight: 1})
+		if err != nil {
+			b.Fatalf("New: %v", err)
+		}
+		if err := m.RefreshCtx(ctx, nil); err != nil {
+			b.Fatalf("refresh: %v", err)
+		}
+	}
+}
+
+// BenchmarkTopologyModelFork measures the warm-start alternative: forking
+// a pre-built base model, which is what repeated solves on a registered
+// topology pay instead of the cold build.
+func BenchmarkTopologyModelFork(b *testing.B) {
+	g := gridGraph(b, 15, 15)
+	ctx := context.Background()
+	base, err := New(g, nil, cache.NewState(g.NumNodes(), 1), Options{FairnessWeight: 1})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	if err := base.RefreshCtx(ctx, nil); err != nil {
+		b.Fatalf("refresh: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := base.ForkCtx(ctx, nil, cache.NewState(g.NumNodes(), 5), Options{FairnessWeight: 1}); err != nil {
+			b.Fatalf("fork: %v", err)
+		}
+	}
+}

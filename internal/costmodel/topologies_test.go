@@ -1,0 +1,89 @@
+package costmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// gridGraph returns a rows×cols 4-neighbor grid.
+func gridGraph(t testing.TB, rows, cols int) *graph.Graph {
+	t.Helper()
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := g.AddEdge(id(r, c), id(r, c+1)); err != nil {
+					t.Fatalf("grid edge: %v", err)
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddEdge(id(r, c), id(r+1, c)); err != nil {
+					t.Fatalf("grid edge: %v", err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// randomGraph returns a connected random graph: a random spanning tree
+// (guaranteeing connectivity) plus extra random edges.
+func randomGraph(t testing.TB, n, extraEdges int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(perm[i], perm[rng.Intn(i)]); err != nil {
+			t.Fatalf("tree edge: %v", err)
+		}
+	}
+	for added := 0; added < extraEdges; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			t.Fatalf("extra edge: %v", err)
+		}
+		added++
+	}
+	return g
+}
+
+// clusteredGraph returns k dense clusters of size m chained together by
+// single bridge edges — the paper's clustered evaluation shape.
+func clusteredGraph(t testing.TB, k, m int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(k * m)
+	for c := 0; c < k; c++ {
+		base := c * m
+		// Ring inside the cluster plus random chords: connected but not
+		// complete, so path structure stays interesting.
+		for i := 0; i < m; i++ {
+			if err := g.AddEdge(base+i, base+(i+1)%m); err != nil {
+				t.Fatalf("cluster ring: %v", err)
+			}
+		}
+		for extra := 0; extra < m/2; {
+			u, v := base+rng.Intn(m), base+rng.Intn(m)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatalf("cluster chord: %v", err)
+			}
+			extra++
+		}
+		if c > 0 {
+			if err := g.AddEdge(base-m+rng.Intn(m), base+rng.Intn(m)); err != nil {
+				t.Fatalf("bridge: %v", err)
+			}
+		}
+	}
+	return g
+}

@@ -15,7 +15,7 @@ import (
 	"sort"
 
 	"repro/internal/cache"
-	"repro/internal/contention"
+	"repro/internal/costmodel"
 	"repro/internal/graph"
 	"repro/internal/pool"
 	"repro/internal/steiner"
@@ -39,6 +39,10 @@ type Options struct {
 	// less the sequential path. The branch-and-bound itself is sequential,
 	// so results are identical at any width.
 	Workers int
+	// PathCache, when non-nil, supplies a shared shortest-path memo for
+	// the topology (it must have been built over the same graph). nil
+	// creates a private cache.
+	PathCache *graph.PathCache
 }
 
 // DefaultOptions returns the configuration matching the paper's objective.
@@ -85,24 +89,45 @@ func SolveChunk(g *graph.Graph, st *cache.State, producer int, opts Options) (*S
 // parallel precomputation), so a cancelled context aborts the search
 // instead of letting it run to completion.
 func SolveChunkCtx(ctx context.Context, g *graph.Graph, st *cache.State, producer int, opts Options) (*Solution, error) {
+	m, err := validateModel(g, st, producer, opts)
+	if err != nil {
+		return nil, err
+	}
+	pl := pool.New(pool.Normalize(opts.Workers))
+	defer pl.Close()
+	return solveChunkModel(ctx, m, producer, opts, pl)
+}
+
+// validateModel checks the instance and builds a throwaway cost model over
+// it for a single-chunk solve.
+func validateModel(g *graph.Graph, st *cache.State, producer int, opts Options) (*costmodel.Model, error) {
 	if g == nil || st == nil || g.NumNodes() != st.NumNodes() {
 		return nil, fmt.Errorf("%w: graph/state mismatch", ErrBadInput)
 	}
-	n := g.NumNodes()
-	if producer < 0 || producer >= n {
+	if producer < 0 || producer >= g.NumNodes() {
 		return nil, fmt.Errorf("%w: producer %d", ErrBadInput, producer)
 	}
 	if !g.Connected() {
 		return nil, fmt.Errorf("%w: graph not connected", ErrBadInput)
 	}
+	m, err := costmodel.New(g, opts.PathCache, st, costmodel.Options{FairnessWeight: opts.FairnessWeight})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return m, nil
+}
+
+// solveChunkModel runs the branch-and-bound for one chunk against the
+// model's current state. The model supplies the (incrementally maintained)
+// fairness and contention costs; the caller commits the result back
+// through it.
+func solveChunkModel(ctx context.Context, m *costmodel.Model, producer int, opts Options, pl *pool.Pool) (*Solution, error) {
 	maxSize := opts.MaxSubsetSize
 	if maxSize <= 0 || maxSize > steiner.MaxExactTerminals-1 {
 		maxSize = steiner.MaxExactTerminals - 1
 	}
 
-	pl := pool.New(pool.Normalize(opts.Workers))
-	defer pl.Close()
-	s, err := newSearch(ctx, g, st, producer, opts, maxSize, pl)
+	s, err := newSearch(ctx, m, producer, opts, maxSize, pl)
 	if err != nil {
 		return nil, fmt.Errorf("exact: search setup interrupted: %w", err)
 	}
@@ -159,9 +184,10 @@ type search struct {
 	cur []int // current subset (candidate indices -> node ids)
 }
 
-func newSearch(ctx context.Context, g *graph.Graph, st *cache.State, producer int, opts Options, maxSize int, pl *pool.Pool) (*search, error) {
+func newSearch(ctx context.Context, m *costmodel.Model, producer int, opts Options, maxSize int, pl *pool.Pool) (*search, error) {
+	g, st := m.Graph(), m.State()
 	n := g.NumNodes()
-	costs, err := contention.ComputeCostsCtx(ctx, g, st, nil, pl)
+	costs, err := m.CostsCtx(ctx, pl)
 	if err != nil {
 		return nil, err
 	}
@@ -171,17 +197,10 @@ func newSearch(ctx context.Context, g *graph.Graph, st *cache.State, producer in
 		opts:     opts,
 		maxSize:  maxSize,
 		conn:     costs.C,
-		edgeCost: contention.EdgeCostFunc(g, st),
+		edgeCost: m.EdgeCostFunc(),
 		bestCost: math.Inf(1),
 	}
-	s.fair = make([]float64, n)
-	for i := 0; i < n; i++ {
-		fc := st.FairnessCost(i)
-		if !math.IsInf(fc, 1) {
-			fc *= opts.FairnessWeight
-		}
-		s.fair[i] = fc
-	}
+	s.fair = m.FairnessCosts()
 	for j := 0; j < n; j++ {
 		if j != producer {
 			s.demands = append(s.demands, j)
@@ -208,13 +227,13 @@ func newSearch(ctx context.Context, g *graph.Graph, st *cache.State, producer in
 	})
 
 	// Suffix minima of connection costs over the branching order.
-	m := len(s.candidates)
-	s.suffixMin = make([][]float64, m+1)
-	s.suffixMin[m] = make([]float64, n)
-	for j := range s.suffixMin[m] {
-		s.suffixMin[m][j] = math.Inf(1)
+	nc := len(s.candidates)
+	s.suffixMin = make([][]float64, nc+1)
+	s.suffixMin[nc] = make([]float64, n)
+	for j := range s.suffixMin[nc] {
+		s.suffixMin[nc][j] = math.Inf(1)
 	}
-	for k := m - 1; k >= 0; k-- {
+	for k := nc - 1; k >= 0; k-- {
 		row := make([]float64, n)
 		for j := 0; j < n; j++ {
 			row[j] = math.Min(s.suffixMin[k+1][j], s.conn[s.candidates[k]][j])
@@ -425,19 +444,27 @@ func PlaceChunks(g *graph.Graph, producer, chunks int, st *cache.State, opts Opt
 }
 
 // PlaceChunksCtx is PlaceChunks with cancellation checked before and
-// during every per-chunk search.
+// during every per-chunk search. One cost model spans all chunks, so each
+// chunk after the first pays a delta repair for the previous commits
+// instead of a fresh contention matrix build.
 func PlaceChunksCtx(ctx context.Context, g *graph.Graph, producer, chunks int, st *cache.State, opts Options) (*Placement, error) {
 	if chunks <= 0 {
 		return nil, fmt.Errorf("%w: chunks %d", ErrBadInput, chunks)
 	}
+	m, err := validateModel(g, st, producer, opts)
+	if err != nil {
+		return nil, err
+	}
+	pl := pool.New(pool.Normalize(opts.Workers))
+	defer pl.Close()
 	p := &Placement{Producer: producer, State: st}
 	for n := 0; n < chunks; n++ {
-		sol, err := SolveChunkCtx(ctx, g, st, producer, opts)
+		sol, err := solveChunkModel(ctx, m, producer, opts, pl)
 		if err != nil {
 			return nil, fmt.Errorf("chunk %d: %w", n, err)
 		}
 		for _, i := range sol.Facilities {
-			if err := st.Store(i, n); err != nil {
+			if err := m.Commit(i, n); err != nil {
 				return nil, fmt.Errorf("chunk %d store on %d: %w", n, i, err)
 			}
 		}

@@ -118,12 +118,21 @@ func (pc *PathCache) NodeCostPaths(src int, weight []float64) (cost []float64, p
 	n := pc.g.n
 	cost = make([]float64, n)
 	pred = make([]int, n)
-	for i := range cost {
+	pc.NodeCostPathsInto(src, weight, cost, pred)
+	return cost, pred
+}
+
+// NodeCostPathsInto is NodeCostPaths writing into caller-owned slices (both
+// of length NumNodes), so row storage can be reused across refreshes instead
+// of reallocated. The results are byte-identical to NodeCostPaths.
+func (pc *PathCache) NodeCostPathsInto(src int, weight []float64, cost []float64, pred []int) {
+	n := pc.g.n
+	for i := 0; i < n; i++ {
 		cost[i] = Infinite
 		pred[i] = -1
 	}
 	if src < 0 || src >= n {
-		return cost, pred
+		return
 	}
 	e := pc.entry(src)
 	cost[src] = weight[src]
@@ -140,7 +149,155 @@ func (pc *PathCache) NodeCostPaths(src int, weight []float64) (cost []float64, p
 		}
 	}
 	cost[src] = 0
-	return cost, pred
+}
+
+// RepairScratch carries the reusable dirty-frontier bookkeeping of
+// RepairNodeCostPaths: per-layer pending buckets and an epoch-stamped
+// membership mark. One scratch serves any number of sequential repairs over
+// the same graph size; concurrent repairs need one scratch each.
+type RepairScratch struct {
+	buckets [][]int
+	mark    []int
+	epoch   int
+}
+
+// NewRepairScratch returns a scratch for repairs over an n-node graph.
+func NewRepairScratch(n int) *RepairScratch {
+	return &RepairScratch{
+		buckets: make([][]int, n+1),
+		mark:    make([]int, n),
+	}
+}
+
+// RepairNodeCostPaths incrementally updates a (cost, pred) row previously
+// produced by NodeCostPaths(src, old weights) so it matches
+// NodeCostPaths(src, weight), where the weights differ from the old ones
+// only at the nodes listed in changed and delta[k] holds each changed
+// node's weight difference (new − old). Only the dirty cone is revisited:
+// the changed nodes themselves and, layer by layer, the nodes whose cheapest
+// value actually moved — unchanged subtrees are never touched. It returns
+// the number of cells recomputed.
+//
+// A weight change at the source shifts every finite cell by the same
+// amount, which is applied analytically. With integer-valued weights (the
+// contention model's deg·(1+S) always is) every partial sum is exactly
+// representable, so the repaired row is byte-identical to a from-scratch
+// sweep — the costmodel equivalence tests assert exactly that. The caller
+// is responsible for falling back to NodeCostPathsInto when it cannot
+// guarantee that precondition.
+func (pc *PathCache) RepairNodeCostPaths(src int, weight []float64, changed []int, delta []float64, cost []float64, pred []int, s *RepairScratch) int {
+	n := pc.g.n
+	if src < 0 || src >= n {
+		return 0
+	}
+	e := pc.entry(src)
+
+	// Source-weight shift: every path from src starts with w_src, so all
+	// reachable cells move in lockstep and path choices are unaffected.
+	for _, k := range changed {
+		if k != src || delta[k] == 0 {
+			continue
+		}
+		for _, v := range e.order {
+			if cost[v] != Infinite {
+				cost[v] += delta[k]
+			}
+		}
+	}
+
+	// Seed the frontier with the changed nodes (their own cell definitely
+	// moved); the loop below carries the disturbance to deeper layers only
+	// where a cell's value actually changed.
+	s.epoch++
+	maxLayer := 0
+	touched := 0
+	for _, k := range changed {
+		if k == src {
+			continue
+		}
+		h := e.hop[k]
+		if h <= 0 || s.mark[k] == s.epoch {
+			continue
+		}
+		s.mark[k] = s.epoch
+		s.buckets[h] = append(s.buckets[h], k)
+		if h > maxLayer {
+			maxLayer = h
+		}
+	}
+	for h := 1; h <= maxLayer; h++ {
+		for idx := 0; idx < len(s.buckets[h]); idx++ {
+			v := s.buckets[h][idx]
+			oldCost := cost[v]
+			// Recompute exactly as the full sweep would: scan previous-layer
+			// neighbors in adjacency order, strict improvement wins — so
+			// tie-breaks (and therefore pred) match byte for byte.
+			newCost, newPred := Infinite, -1
+			wv := weight[v]
+			for _, u := range pc.g.adj[v] {
+				if e.hop[u] != h-1 {
+					continue
+				}
+				cu := cost[u]
+				if u == src {
+					// The stored row holds 0 for the source; the sweep's
+					// internal base value is its weight.
+					cu = weight[src]
+				}
+				if cu == Infinite {
+					continue
+				}
+				if c := cu + wv; c < newCost {
+					newCost, newPred = c, u
+				}
+			}
+			touched++
+			cost[v], pred[v] = newCost, newPred
+			if newCost == oldCost {
+				continue
+			}
+			for _, d := range pc.g.adj[v] {
+				hd := e.hop[d]
+				if hd != h+1 || s.mark[d] == s.epoch {
+					continue
+				}
+				s.mark[d] = s.epoch
+				s.buckets[hd] = append(s.buckets[hd], d)
+				if hd > maxLayer {
+					maxLayer = hd
+				}
+			}
+		}
+		s.buckets[h] = s.buckets[h][:0]
+	}
+	return touched
+}
+
+// Reset drops every memoised entry and rebinds the cache to g — the hook
+// for topology swaps (device mobility in the online system), where keeping
+// per-source entries for a graph that no longer exists would both serve
+// wrong answers and grow memory without bound across swaps. Reset must not
+// race with readers; the single-writer owners (the online system, the
+// per-topology server workers) guarantee that.
+func (pc *PathCache) Reset(g *Graph) {
+	pc.mu.Lock()
+	pc.g = g
+	pc.entries = make([]*pathEntry, g.n)
+	pc.mu.Unlock()
+}
+
+// Cached returns the number of per-source entries currently built — the
+// observable for growth audits and the post-swap regression test.
+func (pc *PathCache) Cached() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	count := 0
+	for _, e := range pc.entries {
+		if e != nil {
+			count++
+		}
+	}
+	return count
 }
 
 // HopDistances returns the cached BFS hop distances from src (building the

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin the documented conventions on degenerate inputs, so the
+// server's report path can call the metrics unconditionally: Gini and
+// StorageCurve degrade to zeros (nothing cached means perfectly even
+// nothing), while PercentileFairness — whose definition divides by the
+// total copy count — reports an error instead of inventing a value.
+
+func TestGiniDegenerate(t *testing.T) {
+	cases := []struct {
+		name   string
+		counts []int
+		want   float64
+	}{
+		{"nil", nil, 0},
+		{"empty", []int{}, 0},
+		{"all zero", []int{0, 0, 0, 0}, 0},
+		{"single node", []int{7}, 0},
+		{"single empty node", []int{0}, 0},
+		{"all equal", []int{3, 3, 3, 3, 3}, 0},
+	}
+	for _, tc := range cases {
+		if got := Gini(tc.counts); got != tc.want {
+			t.Errorf("Gini(%s %v) = %v, want %v", tc.name, tc.counts, got, tc.want)
+		}
+	}
+	// Sanity on the other extreme: one node holding everything approaches
+	// (n−1)/n.
+	if got, want := Gini([]int{0, 0, 0, 10}), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Gini(concentrated) = %v, want %v", got, want)
+	}
+}
+
+func TestPercentileFairnessDegenerate(t *testing.T) {
+	// Undefined inputs are errors, never fabricated numbers.
+	for name, call := range map[string]func() (float64, error){
+		"empty counts":   func() (float64, error) { return PercentileFairness(nil, 75) },
+		"zero total":     func() (float64, error) { return PercentileFairness([]int{0, 0, 0}, 75) },
+		"p zero":         func() (float64, error) { return PercentileFairness([]int{1, 2}, 0) },
+		"p negative":     func() (float64, error) { return PercentileFairness([]int{1, 2}, -5) },
+		"p above range":  func() (float64, error) { return PercentileFairness([]int{1, 2}, 100.5) },
+		"all degenerate": func() (float64, error) { return PercentileFairness(nil, 0) },
+	} {
+		if v, err := call(); err == nil {
+			t.Errorf("%s: got %v, want error", name, v)
+		}
+	}
+
+	// A single-node network needs its one node for any percentile.
+	if got, err := PercentileFairness([]int{4}, 75); err != nil || got != 1 {
+		t.Errorf("single node: got (%v, %v), want (1, nil)", got, err)
+	}
+	// All-equal loads hit the ideal: p percent of the data needs p percent
+	// of the nodes (rounded up to whole nodes).
+	if got, err := PercentileFairness([]int{2, 2, 2, 2}, 75); err != nil || got != 0.75 {
+		t.Errorf("all equal p=75: got (%v, %v), want (0.75, nil)", got, err)
+	}
+	if got, err := PercentileFairness([]int{2, 2, 2, 2}, 100); err != nil || got != 1 {
+		t.Errorf("all equal p=100: got (%v, %v), want (1, nil)", got, err)
+	}
+}
+
+func TestStorageCurveDegenerate(t *testing.T) {
+	if got := StorageCurve(nil); len(got) != 0 {
+		t.Errorf("StorageCurve(nil) = %v, want empty", got)
+	}
+	got := StorageCurve([]int{0, 0, 0})
+	if len(got) != 3 {
+		t.Fatalf("StorageCurve(all-zero) has %d points, want 3", len(got))
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Errorf("StorageCurve(all-zero)[%d] = %v, want 0 (empty network convention)", i, v)
+		}
+	}
+	// Single node holds everything immediately.
+	if got := StorageCurve([]int{5}); len(got) != 1 || got[0] != 1 {
+		t.Errorf("StorageCurve(single) = %v, want [1]", got)
+	}
+}
+
+func TestDistributionDiffDegenerate(t *testing.T) {
+	if _, err := DistributionDiff([]int{1, 2}, []int{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	out, err := DistributionDiff(nil, nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("DistributionDiff(nil,nil) = (%v, %v), want empty, nil", out, err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/graph"
 )
 
@@ -52,11 +53,16 @@ type Publication struct {
 	Expired []int
 }
 
-// System is an online fair-caching instance over one topology.
+// System is an online fair-caching instance over one topology. It keeps a
+// live cost model across publications: arrivals and TTL evictions mutate
+// the model (delta updates) instead of rebuilding fairness and contention
+// costs from scratch on every publication.
 type System struct {
 	g        *graph.Graph
 	solver   *core.Solver
 	st       *cache.State
+	pc       *graph.PathCache
+	model    *costmodel.Model
 	producer int
 	opts     Options
 
@@ -75,17 +81,32 @@ func New(g *graph.Graph, producer int, opts Options) (*System, error) {
 	if opts.Capacity <= 0 {
 		return nil, fmt.Errorf("%w: capacity %d", ErrBadInput, opts.Capacity)
 	}
-	solver, err := core.New(g, opts.Core)
+	// The system owns the shortest-path memo so topology swaps can drop
+	// its entries (SetTopology) instead of leaking one cache per epoch.
+	pc := graph.NewPathCache(g)
+	coreOpts := opts.Core
+	coreOpts.PathCache = pc
+	solver, err := core.New(g, coreOpts)
 	if err != nil {
 		return nil, err
 	}
 	if producer < 0 || producer >= g.NumNodes() {
 		return nil, fmt.Errorf("%w: producer %d", ErrBadInput, producer)
 	}
+	st := cache.NewState(g.NumNodes(), opts.Capacity)
+	model, err := costmodel.New(g, pc, st, costmodel.Options{
+		FairnessWeight: opts.Core.FairnessWeight,
+		BatteryWeight:  opts.Core.BatteryWeight,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
 	return &System{
 		g:        g,
 		solver:   solver,
-		st:       cache.NewState(g.NumNodes(), opts.Capacity),
+		st:       st,
+		pc:       pc,
+		model:    model,
 		producer: producer,
 		opts:     opts,
 		expiry:   make(map[int]int),
@@ -96,13 +117,24 @@ func New(g *graph.Graph, producer int, opts Options) (*System, error) {
 // SetTopology swaps the network topology (device mobility): subsequent
 // publications place against the new connectivity while cached chunks and
 // their expiry clocks carry over. The node set must stay the same size.
+// The shortest-path memo is reset — entries for the old connectivity are
+// dropped rather than accumulated across swaps — and the cost model
+// rebuilds on the next publication (a connectivity change invalidates
+// every cached path, so there is nothing to repair incrementally).
 func (s *System) SetTopology(g *graph.Graph) error {
 	if g.NumNodes() != s.g.NumNodes() {
 		return fmt.Errorf("%w: topology has %d nodes, system has %d", ErrBadInput, g.NumNodes(), s.g.NumNodes())
 	}
-	solver, err := core.New(g, s.opts.Core)
+	coreOpts := s.opts.Core
+	coreOpts.PathCache = s.pc
+	// Validate the new topology before touching any state: core.New
+	// rejects disconnected graphs without reading the path cache.
+	solver, err := core.New(g, coreOpts)
 	if err != nil {
 		return err
+	}
+	if err := s.model.SwapTopology(g); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
 	s.g = g
 	s.solver = solver
@@ -143,7 +175,7 @@ func (s *System) PublishCtx(ctx context.Context) (*Publication, error) {
 		sort.Ints(stale)
 		for _, id := range stale {
 			for _, holder := range s.st.Holders(id) {
-				s.st.Evict(holder, id)
+				s.model.Evict(holder, id)
 			}
 			delete(s.expiry, id)
 			delete(s.live, id)
@@ -151,7 +183,7 @@ func (s *System) PublishCtx(ctx context.Context) (*Publication, error) {
 		pub.Expired = stale
 	}
 
-	res, err := s.solver.PlaceOneCtx(ctx, s.producer, pub.Chunk, s.st)
+	res, err := s.solver.PlaceOneModelCtx(ctx, s.producer, pub.Chunk, s.model)
 	if err != nil {
 		return nil, fmt.Errorf("online: publish chunk %d: %w", pub.Chunk, err)
 	}

@@ -200,3 +200,37 @@ func TestSetTopologyMobility(t *testing.T) {
 		t.Error("disconnected topology accepted")
 	}
 }
+
+// TestSetTopologyDropsPathCache is the PathCache growth audit: the memoised
+// per-source entries built for one topology must be dropped on a swap, not
+// accumulated epoch over epoch. Without the reset a long-running mobile
+// system would both leak one cache per movement epoch and serve stale paths.
+func TestSetTopologyDropsPathCache(t *testing.T) {
+	g := graph.NewGrid(4, 4)
+	sys, err := New(g, 5, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.pc.Cached(); got == 0 {
+		t.Fatal("publication built no path-cache entries")
+	}
+	for epoch := 0; epoch < 3; epoch++ {
+		if err := sys.SetTopology(graph.NewRing(16)); err != nil {
+			t.Fatalf("epoch %d: SetTopology: %v", epoch, err)
+		}
+		if got := sys.pc.Cached(); got != 0 {
+			t.Fatalf("epoch %d: %d path-cache entries survived the swap", epoch, got)
+		}
+		if _, err := sys.Publish(); err != nil {
+			t.Fatalf("epoch %d: publish: %v", epoch, err)
+		}
+		// Entries rebuilt lazily for the new topology stay bounded by the
+		// node count — the cache cannot grow across swaps.
+		if got := sys.pc.Cached(); got == 0 || got > 16 {
+			t.Fatalf("epoch %d: Cached() = %d, want within (0,16]", epoch, got)
+		}
+	}
+}

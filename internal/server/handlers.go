@@ -655,6 +655,9 @@ type ReportResponse struct {
 	Gini           float64   `json:"gini"`
 	Fairness75     float64   `json:"fairness75"`
 	StorageCurve   []float64 `json:"storageCurve"`
+	// Solver exposes the warm/cold cost-model counters: after the first
+	// solve on a topology every later one should be warm.
+	Solver faircache.SolverStats `json:"solver"`
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -689,6 +692,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		Gini:           metrics.Gini(snap.Counts),
 		Fairness75:     fairness75,
 		StorageCurve:   metrics.StorageCurve(snap.Counts),
+		Solver:         tp.solver.Stats(),
 	})
 }
 

@@ -403,3 +403,24 @@ func TestServerCloseRejectsNewWork(t *testing.T) {
 		t.Fatalf("report after close: status %d, want 404", resp.StatusCode)
 	}
 }
+
+// TestReportSolverStats checks the warm-model plumbing end to end: the
+// first solve on a topology pays the one cold cost-matrix build, every
+// repeat solve is served from the warm base model, and the report exposes
+// the counters.
+func TestReportSolverStats(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	reg := c.registerGrid(4, 4, 9)
+	for _, alg := range []string{"appx", "appx", "hopc", "cont"} {
+		var solve SolveResponse
+		c.doJSON("POST", "/v1/topologies/"+reg.ID+"/solve", SolveRequest{Algorithm: alg, Chunks: 3}, &solve, http.StatusOK)
+	}
+	var rep ReportResponse
+	c.doJSON("GET", "/v1/topologies/"+reg.ID+"/report", nil, &rep, http.StatusOK)
+	if rep.Solver.ColdBuilds != 1 {
+		t.Fatalf("coldBuilds = %d, want exactly 1 across 4 solves", rep.Solver.ColdBuilds)
+	}
+	if rep.Solver.WarmSolves < 3 {
+		t.Fatalf("warmSolves = %d, want >= 3", rep.Solver.WarmSolves)
+	}
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# bench.sh — run the repo's benchmarks and record the results as
+# BENCH_<short-sha>.json, so perf changes land in review diffs next to the
+# code that caused them.
+#
+# Environment overrides:
+#   BENCH_PKGS    packages to benchmark        (default: ./...)
+#   BENCH_PATTERN -bench regexp                (default: .)
+#   BENCH_TIME    -benchtime value             (default: go's default)
+#   BENCH_OUT     output path                  (default: BENCH_<short-sha>.json)
+#
+# The JSON layout is one object per benchmark line:
+#   {"name": ..., "iterations": ..., "nsPerOp": ..., "bytesPerOp": ..., "allocsPerOp": ...}
+# wrapped with the commit, date and `go version` for provenance.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PKGS="${BENCH_PKGS:-./...}"
+PATTERN="${BENCH_PATTERN:-.}"
+SHA="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+OUT="${BENCH_OUT:-BENCH_${SHA}.json}"
+
+TIME_FLAG=""
+if [ -n "${BENCH_TIME:-}" ]; then
+  TIME_FLAG="-benchtime=${BENCH_TIME}"
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# shellcheck disable=SC2086 — TIME_FLAG is intentionally word-split.
+go test -run '^$' -bench "$PATTERN" -benchmem -count=1 $TIME_FLAG $PKGS | tee "$RAW"
+
+awk -v sha="$SHA" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version)" '
+BEGIN {
+  printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", sha, date, gover
+  n = 0
+}
+/^Benchmark/ {
+  name = $1
+  iters = $2
+  ns = ""; bytes = ""; allocs = ""
+  for (i = 3; i < NF; i++) {
+    if ($(i+1) == "ns/op") ns = $i
+    if ($(i+1) == "B/op") bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  if (ns == "") next
+  if (n++) printf ","
+  printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"nsPerOp\": %s", name, iters, ns
+  if (bytes != "") printf ", \"bytesPerOp\": %s", bytes
+  if (allocs != "") printf ", \"allocsPerOp\": %s", allocs
+  printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

@@ -3,9 +3,12 @@ package faircache
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/baseline"
+	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/dist"
 	"repro/internal/exact"
 	"repro/internal/graph"
@@ -33,12 +36,30 @@ type Request struct {
 // topology once and then answers placement requests for any algorithm,
 // producer and option set via Solve. Construction is cheap; the solver
 // additionally memoises the topology's shortest-path structure across
-// solves, so a long-lived Solver (a placement service holds one per
-// topology) answers repeat requests faster than the one-shot top-level
-// functions. A Solver is safe for concurrent use.
+// solves and keeps a fully built topology cost model alive, so a
+// long-lived Solver (a placement service holds one per topology) answers
+// repeat requests from a warm start: the approximation forks the base
+// model's matrices instead of paying the cold all-pairs rebuild, and the
+// baselines read its topology metric directly. A Solver is safe for
+// concurrent use.
 type Solver struct {
 	topo *Topology
 	pc   *graph.PathCache
+
+	mu    sync.Mutex
+	base  *costmodel.Model // empty-state topology model; read-only once built
+	stats SolverStats
+}
+
+// SolverStats counts how solves obtained their cost matrices.
+type SolverStats struct {
+	// ColdBuilds counts solves that had to build the topology cost
+	// matrices from scratch (at most one per topology lifetime for the
+	// approximation path).
+	ColdBuilds int `json:"coldBuilds"`
+	// WarmSolves counts solves served from the pre-built base model (a
+	// fork for the approximation, a read-only borrow for the baselines).
+	WarmSolves int `json:"warmSolves"`
 }
 
 // NewSolver returns a Solver bound to the given topology.
@@ -51,6 +72,40 @@ func NewSolver(t *Topology) (*Solver, error) {
 
 // Topology returns the topology the solver is bound to.
 func (s *Solver) Topology() *Topology { return s.topo }
+
+// Stats returns the solver's warm/cold solve counters.
+func (s *Solver) Stats() SolverStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// baseModel returns the solver's shared empty-state cost model, building
+// (and fully refreshing) it on first use. After that single build the
+// model is never mutated again, so concurrent solves may read it freely.
+func (s *Solver) baseModel(ctx context.Context, pl *pool.Pool) (*costmodel.Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.base != nil {
+		s.stats.WarmSolves++
+		return s.base, nil
+	}
+	// Weights of an empty state depend only on node degrees, so one base
+	// model serves every capacity/battery/weight configuration: forks
+	// re-derive the cheap fairness vector from their own state and
+	// options, only the O(N²) matrices are shared.
+	st := cache.NewState(s.topo.g.NumNodes(), 1)
+	m, err := costmodel.New(s.topo.g, s.pc, st, costmodel.Options{FairnessWeight: 1})
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	if err := m.RefreshCtx(ctx, pl); err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	s.base = m
+	s.stats.ColdBuilds++
+	return m, nil
+}
 
 // Solve runs one placement request. The context governs the whole solve:
 // cancellation or deadline expiry stops the engine mid-solve (between
@@ -117,7 +172,24 @@ func (s *Solver) solveApprox(ctx context.Context, req Request, o Options) (*Resu
 	}
 	st := newState(s.topo, o)
 	base := st.Clone()
-	p, err := solver.PlaceCtx(ctx, req.Producer, req.Chunks, st)
+
+	// Fork the solver's warm topology model for this solve: fresh states
+	// are empty, so the fork reuses the shared contention matrices and
+	// the cold all-pairs build is paid once per topology, not per solve.
+	pl := pool.New(pool.Normalize(o.Workers))
+	defer pl.Close()
+	bm, err := s.baseModel(ctx, pl)
+	if err != nil {
+		return nil, err
+	}
+	m, err := bm.ForkCtx(ctx, pl, st, costmodel.Options{
+		FairnessWeight: coreOpts.FairnessWeight,
+		BatteryWeight:  coreOpts.BatteryWeight,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("faircache: %w", err)
+	}
+	p, err := solver.PlaceModelCtx(ctx, req.Producer, req.Chunks, m)
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
 	}
@@ -166,7 +238,11 @@ func (s *Solver) solveBaseline(ctx context.Context, req Request, o Options, alg 
 	base := st.Clone()
 	pl := pool.New(pool.Normalize(o.Workers))
 	defer pl.Close()
-	p, err := baseline.PlaceChunksCtx(ctx, s.topo.g, req.Producer, req.Chunks, st, alg, lambda, pl)
+	bm, err := s.baseModel(ctx, pl)
+	if err != nil {
+		return nil, err
+	}
+	p, err := baseline.PlaceChunksModelCtx(ctx, bm, req.Producer, req.Chunks, st, alg, lambda, pl)
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
 	}
@@ -180,6 +256,7 @@ func (s *Solver) solveOptimal(ctx context.Context, req Request, o Options) (*Res
 	exOpts.NodeBudget = o.SearchBudget
 	exOpts.MaxSubsetSize = o.SearchWidth
 	exOpts.Workers = o.Workers
+	exOpts.PathCache = s.pc
 	st := newState(s.topo, o)
 	base := st.Clone()
 	p, err := exact.PlaceChunksCtx(ctx, s.topo.g, req.Producer, req.Chunks, st, exOpts)
