@@ -53,6 +53,42 @@ func benchSolve(b *testing.B, workers int) {
 func BenchmarkSolveSequential(b *testing.B) { benchSolve(b, 1) }
 func BenchmarkSolveParallel(b *testing.B)   { benchSolve(b, 0) }
 
+// BenchmarkSolvePartitioned runs the same large-grid regime through the
+// geographic sharding path (Options.Partition): regions solve in parallel
+// against per-region cost matrices and the boundary stitch reconciles the
+// cut. Comparing against BenchmarkSolveParallel measures what sharding
+// buys on a topology the global path can still handle; the reported
+// matrix-cells metric is the per-solve peak-memory ratio (Σ nᵢ² / N²).
+func BenchmarkSolvePartitioned(b *testing.B) {
+	topo, err := faircache.Grid(15, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := faircache.Request{
+		Producer: 9,
+		Chunks:   64,
+		Options: &faircache.Options{
+			Capacity:  3,
+			Partition: &faircache.PartitionOptions{Regions: 9},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.Solve(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Gini(), "gini")
+			b.ReportMetric(float64(res.Partition.MatrixCells)/float64(res.Partition.FullMatrixCells), "matrix-cells-ratio")
+		}
+	}
+}
+
 // benchScenario mirrors the paper's defaults with a budgeted exact search
 // so Brtf-dependent figures stay tractable inside a benchmark loop.
 func benchScenario() eval.Scenario {

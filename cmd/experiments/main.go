@@ -51,6 +51,7 @@ func run(fig string, quick bool) error {
 		"9":    c.fig9,
 		"tab2": c.table2,
 		"abl":  c.ablations,
+		"part": c.partitioned,
 	}
 	if fig != "all" {
 		r, ok := runners[fig]
@@ -59,7 +60,7 @@ func run(fig string, quick bool) error {
 		}
 		return r()
 	}
-	for _, key := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "tab2", "abl"} {
+	for _, key := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "tab2", "abl", "part"} {
 		if err := runners[key](); err != nil {
 			return fmt.Errorf("fig %s: %w", key, err)
 		}
@@ -410,6 +411,41 @@ func (c config) table2() error {
 	out = append(out, []string{"total", fmt.Sprint(tab.Total)})
 	printTable([]string{"message", "count"}, out)
 	fmt.Printf("\nO(QN+N²) bound: %d messages ≤ %d: %v\n", tab.Total, tab.Bound, tab.WithinBound)
+	return nil
+}
+
+// partitioned prints the sharded-vs-global comparison: the cost-error
+// factor the boundary stitch achieves and the peak-matrix saving, per
+// topology model.
+func (c config) partitioned() error {
+	header("Sharded solves — partitioned vs global (Options.Partition)")
+	cases, err := eval.DefaultPartitionedCases()
+	if err != nil {
+		return err
+	}
+	if c.quick {
+		cases = cases[:1]
+	}
+	rows, err := eval.RunPartitioned(cases, c.scenario())
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Label,
+			fmt.Sprint(r.Nodes),
+			fmt.Sprint(r.Regions),
+			fmt.Sprintf("%.0f", r.GlobalCost),
+			fmt.Sprintf("%.0f", r.ShardedCost),
+			fmt.Sprintf("%.3f", r.Ratio),
+			fmt.Sprintf("%.1f", r.GlobalMs),
+			fmt.Sprintf("%.1f", r.ShardedMs),
+			fmt.Sprint(r.DroppedCopies),
+			fmt.Sprintf("%.1f%%", 100*float64(r.MatrixCells)/float64(r.FullMatrixCells)),
+		})
+	}
+	printTable([]string{"topology", "nodes", "regions", "global cost", "sharded cost", "ratio", "global ms", "sharded ms", "dropped", "matrix cells vs N²"}, out)
 	return nil
 }
 

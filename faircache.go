@@ -45,12 +45,17 @@ import (
 // Topology is a connected multi-hop wireless network over nodes 0..N-1.
 type Topology struct {
 	g *graph.Graph
+	// gridRows/gridCols record the shape of a Grid-built topology (0
+	// otherwise) so the partitioner can use exact tile cuts on grids.
+	gridRows, gridCols int
 }
 
-// Errors returned by topology constructors and solvers.
+// Errors returned by topology constructors and solvers. ErrNotConnected
+// is itself an ErrBadArgument (errors.Is matches both), since a
+// disconnected topology is invalid input everywhere it can appear.
 var (
-	ErrNotConnected = errors.New("faircache: topology must be connected")
 	ErrBadArgument  = errors.New("faircache: bad argument")
+	ErrNotConnected = fmt.Errorf("%w: topology must be connected", ErrBadArgument)
 )
 
 // Grid returns a rows×cols grid topology, the primary network model of
@@ -59,7 +64,7 @@ func Grid(rows, cols int) (*Topology, error) {
 	if rows < 1 || cols < 1 || rows*cols < 2 {
 		return nil, fmt.Errorf("%w: grid %dx%d too small", ErrBadArgument, rows, cols)
 	}
-	return &Topology{g: graph.NewGrid(rows, cols)}, nil
+	return &Topology{g: graph.NewGrid(rows, cols), gridRows: rows, gridCols: cols}, nil
 }
 
 // Random returns a connected random geometric topology of n nodes in the
@@ -228,8 +233,15 @@ type Options struct {
 	// ChunkStarted, when non-nil, is invoked with the chunk id at the
 	// start of each per-chunk iteration of the centralized algorithm —
 	// an observability hook for progress reporting and cancellation
-	// tests. It runs on the solving goroutine; keep it fast.
+	// tests. It runs on the solving goroutine; keep it fast. Partitioned
+	// solves run regions concurrently and do not invoke the hook.
 	ChunkStarted func(chunk int)
+	// Partition, when non-nil, routes the solve through the geographic
+	// sharding path (AlgorithmApprox only): the topology is cut into
+	// connected regions, each region is solved in parallel by its own
+	// engine over region-local cost matrices, and the placements are
+	// stitched with a boundary-reconciliation pass. See PartitionOptions.
+	Partition *PartitionOptions
 }
 
 // Algorithm identifies a placement algorithm in results and reports.
@@ -264,6 +276,9 @@ type Result struct {
 	// ProvenOptimal reports whether an Optimal run completed its search
 	// exhaustively (always false for other algorithms).
 	ProvenOptimal bool
+	// Partition describes the decomposition of a sharded solve (nil for
+	// global solves).
+	Partition *PartitionReport
 
 	topo     *Topology
 	strategy metrics.AccessStrategy
@@ -307,6 +322,7 @@ func (o *Options) withDefaults() Options {
 	out.ImproveSteiner = o.ImproveSteiner
 	out.Workers = o.Workers
 	out.ChunkStarted = o.ChunkStarted
+	out.Partition = o.Partition
 	return out
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 func TestGridValidation(t *testing.T) {
@@ -41,6 +43,36 @@ func TestFromLinks(t *testing.T) {
 	}
 	if topo.NumLinks() != 2 {
 		t.Errorf("NumLinks = %d", topo.NumLinks())
+	}
+}
+
+// TestDisconnectedRejectedUpFront pins the typed rejection of
+// disconnected topologies: ErrNotConnected wraps ErrBadArgument, so
+// callers can match either, and both the constructor and the solver
+// entry points refuse the input before any solving happens.
+func TestDisconnectedRejectedUpFront(t *testing.T) {
+	_, err := FromLinks(4, [][2]int{{0, 1}, {2, 3}})
+	if !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("FromLinks: err = %v, want ErrNotConnected", err)
+	}
+	if !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("FromLinks: err = %v must also match ErrBadArgument", err)
+	}
+
+	// Constructors bridge or reject disconnected inputs, so NewSolver's
+	// own check needs a hand-built topology to exercise.
+	g := graph.New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSolver(&Topology{g: g}); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("NewSolver: err = %v, want ErrNotConnected", err)
+	}
+	if _, err := NewSolver(&Topology{g: g}); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("NewSolver: err must also match ErrBadArgument")
 	}
 }
 

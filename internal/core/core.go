@@ -170,6 +170,27 @@ func New(g *graph.Graph, opts Options) (*Solver, error) {
 	return &Solver{g: g, opts: opts, pc: pc}, nil
 }
 
+// PathCache returns the solver's shared shortest-path memo, so callers
+// building caller-owned cost models (warm solves, region solves) reuse the
+// BFS layer structure instead of recomputing it.
+func (s *Solver) PathCache() *graph.PathCache { return s.pc }
+
+// Reconfigure returns a Solver over the same topology and path cache with
+// different options. The graph was validated when this solver was built,
+// so the O(N+E) connectivity check is skipped — the hook the sharded solve
+// path uses to derive per-request region solvers from a plan's canonical
+// ones. Options.PathCache is ignored; the receiver's cache is kept.
+func (s *Solver) Reconfigure(opts Options) (*Solver, error) {
+	if opts.FairnessWeight < 0 {
+		return nil, fmt.Errorf("core: fairness weight %g must be >= 0", opts.FairnessWeight)
+	}
+	if opts.BatteryWeight < 0 {
+		return nil, fmt.Errorf("core: battery weight %g must be >= 0", opts.BatteryWeight)
+	}
+	opts.PathCache = s.pc
+	return &Solver{g: s.g, opts: opts, pc: s.pc}, nil
+}
+
 // Place runs Algorithm 1: it places chunk ids 0..chunks-1 sequentially,
 // mutating st (which must cover the same node set as the topology).
 func (s *Solver) Place(producer, chunks int, st *cache.State) (*Placement, error) {

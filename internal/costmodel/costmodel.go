@@ -151,6 +151,17 @@ func (m *Model) PathCache() *graph.PathCache { return m.pc }
 // Options returns the weighting the model was built with.
 func (m *Model) Options() Options { return m.opts }
 
+// MatrixCells returns the size of the model's contention matrices in
+// cells: N² once they are built, 0 before the first refresh. It is the
+// peak-memory accounting hook of the sharded solve path, which reports
+// Σ nᵢ² over region models against the N² a global model would hold.
+func (m *Model) MatrixCells() int {
+	if !m.built {
+		return 0
+	}
+	return m.g.NumNodes() * m.g.NumNodes()
+}
+
 // Stats returns the work counters accumulated so far.
 func (m *Model) Stats() Stats {
 	m.statsMu.Lock()
@@ -245,9 +256,10 @@ func (m *Model) SwapTopology(g *graph.Graph) error {
 // RefreshCtx brings the matrices up to date: a cold build when none exist
 // (or after SwapTopology), a batched repair of the pending deltas
 // otherwise. Independent rows fan out over p; rows land in their own
-// slots, so the result is byte-identical at any pool width. On a
-// cancelled context the matrices keep their pre-call validity state and
-// the pending deltas remain queued.
+// slots, so the result is byte-identical at any pool width. A repair
+// cancelled mid-flight leaves some rows shifted and some not, so it
+// invalidates the matrices; the next refresh recovers through the full
+// rebuild path.
 func (m *Model) RefreshCtx(ctx context.Context, p *pool.Pool) error {
 	if !m.built || m.opts.DisableIncremental {
 		return m.rebuild(ctx, p)
@@ -281,6 +293,12 @@ func (m *Model) RefreshCtx(ctx context.Context, p *pool.Pool) error {
 		m.scratch.Put(s)
 	})
 	if err != nil {
+		// Rows repaired before the cancellation have already shifted
+		// their cells in place; repairing again with the still-queued
+		// deltas would double-apply them. Invalidate the matrices so the
+		// next refresh takes the full rebuild, which only reads the
+		// (already current) weights.
+		m.built = false
 		return err
 	}
 	m.clearPending()

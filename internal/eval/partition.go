@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+
+	faircache "repro"
+)
+
+// PartitionedRow compares one topology's global solve against its sharded
+// solve: cost, wall time and peak cost-matrix footprint.
+type PartitionedRow struct {
+	// Label names the topology ("grid 15x15", "random 120", ...).
+	Label string
+	// Nodes is the topology size; Regions the sharded region count.
+	Nodes   int
+	Regions int
+	// GlobalCost and ShardedCost are the replayed contention costs of the
+	// two solves; Ratio is Sharded/Global (the cost-error factor).
+	GlobalCost  float64
+	ShardedCost float64
+	Ratio       float64
+	// GlobalMs and ShardedMs are the solve wall times.
+	GlobalMs  float64
+	ShardedMs float64
+	// DroppedCopies counts the copies the stitch pass removed; MatrixCells
+	// and FullMatrixCells compare the sharded path's summed per-region
+	// matrices against the global N².
+	DroppedCopies   int
+	MatrixCells     int
+	FullMatrixCells int
+}
+
+// PartitionedCase is one topology of the sharded-vs-global comparison.
+type PartitionedCase struct {
+	Label   string
+	Topo    *faircache.Topology
+	Regions int
+}
+
+// DefaultPartitionedCases returns the comparison's standard topologies:
+// the paper's three network models at sizes where the global solve is
+// still comfortable, so both paths can be measured.
+func DefaultPartitionedCases() ([]PartitionedCase, error) {
+	grid, err := faircache.Grid(12, 12)
+	if err != nil {
+		return nil, err
+	}
+	random, err := faircache.Random(120, 3)
+	if err != nil {
+		return nil, err
+	}
+	clustered, err := faircache.Clustered(6, 12, 11)
+	if err != nil {
+		return nil, err
+	}
+	return []PartitionedCase{
+		{Label: "grid 12x12", Topo: grid, Regions: 4},
+		{Label: "random 120", Topo: random, Regions: 4},
+		{Label: "clustered 6x12", Topo: clustered, Regions: 3},
+	}, nil
+}
+
+// RunPartitioned runs the sharded-vs-global comparison: each case is
+// solved globally and with Options.Partition, both placements are
+// evaluated under the uniform replay metric, and the row reports the
+// cost-error factor alongside the memory and time deltas.
+func RunPartitioned(cases []PartitionedCase, sc Scenario) ([]PartitionedRow, error) {
+	rows := make([]PartitionedRow, 0, len(cases))
+	for _, c := range cases {
+		solver, err := faircache.NewSolver(c.Topo)
+		if err != nil {
+			return nil, err
+		}
+		producer := sc.producerOn(c.Topo)
+		base := faircache.Request{Producer: producer, Chunks: sc.Chunks, Options: sc.options()}
+
+		var global *faircache.Result
+		globalTime, err := timeIt(func() error {
+			global, err = solver.Solve(context.Background(), base)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s global: %w", c.Label, err)
+		}
+
+		shardedReq := base
+		opts := *sc.options()
+		opts.Partition = &faircache.PartitionOptions{Regions: c.Regions}
+		shardedReq.Options = &opts
+		var sharded *faircache.Result
+		shardedTime, err := timeIt(func() error {
+			sharded, err = solver.Solve(context.Background(), shardedReq)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s sharded: %w", c.Label, err)
+		}
+
+		globalCost, err := global.ContentionCost()
+		if err != nil {
+			return nil, err
+		}
+		shardedCost, err := sharded.ContentionCost()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PartitionedRow{
+			Label:           c.Label,
+			Nodes:           c.Topo.NumNodes(),
+			Regions:         sharded.Partition.Regions,
+			GlobalCost:      globalCost.Total(),
+			ShardedCost:     shardedCost.Total(),
+			Ratio:           shardedCost.Total() / globalCost.Total(),
+			GlobalMs:        float64(globalTime.Microseconds()) / 1000,
+			ShardedMs:       float64(shardedTime.Microseconds()) / 1000,
+			DroppedCopies:   sharded.Partition.DroppedCopies,
+			MatrixCells:     sharded.Partition.MatrixCells,
+			FullMatrixCells: sharded.Partition.FullMatrixCells,
+		})
+	}
+	return rows, nil
+}

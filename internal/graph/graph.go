@@ -241,6 +241,39 @@ func (g *Graph) HopDistances(src int) []int {
 	return dist
 }
 
+// MultiSourceHopDistances returns, for every node, the BFS hop distance to
+// the nearest of srcs (0 for the sources themselves). Out-of-range sources
+// are ignored; nodes unreachable from every source — and every node when no
+// valid source is given — get Unreachable (-1). Sources are seeded in
+// ascending id order, so ties in the BFS frontier resolve deterministically.
+func (g *Graph) MultiSourceHopDistances(srcs []int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	seeds := append([]int(nil), srcs...)
+	sort.Ints(seeds)
+	queue := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || s >= g.n || dist[s] == 0 {
+			continue
+		}
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] == Unreachable {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
 // AllPairsHops returns the hop-distance matrix via repeated BFS
 // (O(N·(N+E)), faster than Floyd–Warshall on sparse wireless topologies).
 // Unreachable pairs get Unreachable (-1).

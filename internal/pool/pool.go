@@ -90,6 +90,37 @@ func (p *Pool) Close() {
 // ForEach return ctx.Err(); indexes already started still finish, but the
 // full range may not have run — callers must discard partial output on a
 // non-nil return.
+// ForEachErr is ForEach for fallible work: fn may return an error, and the
+// first one (by lowest index, so the choice is deterministic) is returned
+// after all started indexes finish. A failing index cancels the derived
+// context seen by ctx-checking workers, so remaining indexes are skipped,
+// but fn itself is responsible for observing ctx if an individual item is
+// long-running. The slot-write contract of ForEach applies unchanged.
+func (p *Pool) ForEachErr(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	ferr := p.ForEach(inner, n, func(i int) {
+		if errs[i] = fn(i); errs[i] != nil {
+			cancel()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if ferr != nil {
+		// The derived context only cancels after an error slot was written,
+		// so surviving to here means the parent context itself ended.
+		return ctx.Err()
+	}
+	return nil
+}
+
 func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int)) error {
 	if n <= 0 {
 		return ctx.Err()

@@ -284,6 +284,12 @@ type SolveOptions struct {
 	// Workers sizes the engine's worker pool for this solve (0 =
 	// GOMAXPROCS, 1 = sequential).
 	Workers int `json:"workers,omitempty"`
+	// PartitionRegions routes the solve through the geographic sharding
+	// path with that many regions (appx only); 0 solves globally.
+	// PartitionHalo tunes the boundary re-bid radius (0 = default,
+	// negative = keep every region's copies).
+	PartitionRegions int `json:"partitionRegions,omitempty"`
+	PartitionHalo    int `json:"partitionHalo,omitempty"`
 }
 
 func (o *SolveOptions) toOptions(capacity int) *faircache.Options {
@@ -306,6 +312,12 @@ func (o *SolveOptions) toOptions(capacity int) *faircache.Options {
 	out.GreedyConFL = o.GreedyConFL
 	out.ImproveSteiner = o.ImproveSteiner
 	out.Workers = o.Workers
+	if o.PartitionRegions != 0 {
+		out.Partition = &faircache.PartitionOptions{
+			Regions: o.PartitionRegions,
+			Halo:    o.PartitionHalo,
+		}
+	}
 	return out
 }
 
@@ -337,6 +349,9 @@ type SolveResponse struct {
 	ElapsedMs         float64        `json:"elapsedMs"`
 	ProvenOptimal     bool           `json:"provenOptimal,omitempty"`
 	Messages          map[string]int `json:"messages,omitempty"`
+	// Partition reports the decomposition of a sharded solve (nil for
+	// global solves).
+	Partition *faircache.PartitionReport `json:"partition,omitempty"`
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -427,6 +442,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			ElapsedMs:         float64(time.Since(start).Microseconds()) / 1000,
 			ProvenOptimal:     res.ProvenOptimal,
 			Messages:          res.Messages,
+			Partition:         res.Partition,
 		}, nil
 	})
 	if err != nil {

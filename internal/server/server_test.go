@@ -189,6 +189,53 @@ func TestSolveEveryAlgorithm(t *testing.T) {
 	}
 }
 
+// TestSolvePartitioned drives the sharded solve path over HTTP: the
+// options carry the region count, the response carries the decomposition
+// report, and sharding any algorithm other than appx is a bad request.
+func TestSolvePartitioned(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	reg := c.registerGrid(8, 8, 9)
+	var out SolveResponse
+	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/solve",
+		SolveRequest{Algorithm: "appx", Chunks: 3,
+			Options: &SolveOptions{PartitionRegions: 4}}, &out, http.StatusOK)
+	if out.Partition == nil {
+		t.Fatal("partitioned solve response has no partition report")
+	}
+	if out.Partition.Regions != 4 {
+		t.Fatalf("Regions = %d, want 4", out.Partition.Regions)
+	}
+	if out.Partition.MatrixCells >= out.Partition.FullMatrixCells {
+		t.Fatalf("MatrixCells %d must be below FullMatrixCells %d",
+			out.Partition.MatrixCells, out.Partition.FullMatrixCells)
+	}
+	for chunk, holders := range out.Holders {
+		if len(holders) == 0 {
+			t.Fatalf("chunk %d has no holders", chunk)
+		}
+	}
+	// A global solve keeps the field empty.
+	var global SolveResponse
+	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/solve",
+		SolveRequest{Algorithm: "appx", Chunks: 3}, &global, http.StatusOK)
+	if global.Partition != nil {
+		t.Fatalf("global solve reported a partition: %+v", global.Partition)
+	}
+	// The solver stats surface the sharded activity via the report.
+	var rep ReportResponse
+	c.doJSON("GET", "/v1/topologies/"+reg.ID+"/report", nil, &rep, http.StatusOK)
+	if rep.Solver.PartitionedSolves != 1 || rep.Solver.PartitionPlans != 1 {
+		t.Fatalf("solver stats %+v: want 1 partitioned solve and 1 plan", rep.Solver)
+	}
+	// Sharding is appx-only and the region count is validated.
+	c.wantError("POST", "/v1/topologies/"+reg.ID+"/solve",
+		SolveRequest{Algorithm: "dist", Chunks: 3,
+			Options: &SolveOptions{PartitionRegions: 4}}, http.StatusBadRequest, CodeBadRequest)
+	c.wantError("POST", "/v1/topologies/"+reg.ID+"/solve",
+		SolveRequest{Algorithm: "appx", Chunks: 3,
+			Options: &SolveOptions{PartitionRegions: 1000}}, http.StatusBadRequest, CodeBadRequest)
+}
+
 func TestSolveValidation(t *testing.T) {
 	c, _ := newTestClient(t, Options{})
 	reg := c.registerGrid(3, 3, 4)

@@ -1,0 +1,61 @@
+package faircache
+
+// DefaultPartitionHalo is the boundary re-bid radius used when
+// PartitionOptions.Halo is 0: two hops covers the copies a neighbor
+// region would have placed just across a cut edge without reaching deep
+// into region interiors.
+const DefaultPartitionHalo = 2
+
+// PartitionOptions routes a solve through the geographic sharding path:
+// the topology is cut into connected regions (exact tiles on grids, greedy
+// BFS growth elsewhere), every region is solved concurrently by its own
+// engine against region-local cost matrices — peak matrix memory drops
+// from O(N²) to O(Σ nᵢ²) — and the per-region placements are stitched
+// with a deterministic boundary-reconciliation pass. Only AlgorithmApprox
+// supports sharding; other algorithms reject it with ErrBadArgument.
+//
+// Sharding trades a bounded amount of placement quality for scale: each
+// region is blind to its neighbors, so the stitched cost can exceed the
+// global solve's. Result.Partition reports the decomposition, and the
+// repository's equivalence suite measures the cost factor (see the README
+// "Sharded solves" section for current numbers).
+type PartitionOptions struct {
+	// Regions is the target region count k (>= 2, and small enough that
+	// every region keeps at least 2 nodes). The partitioner treats it as
+	// a target; the exact count is reported in Result.Partition.Regions.
+	Regions int
+	// Halo is the hop radius around cut edges within which stitched
+	// copies are re-bid against the chunk's calibrated per-copy charge:
+	// 0 selects DefaultPartitionHalo, negative disables reconciliation
+	// (keep every region's copies).
+	Halo int
+}
+
+// PartitionReport describes how a sharded solve was decomposed and
+// stitched. It contains only deterministic quantities, so partitioned
+// results stay byte-comparable across runs and worker counts.
+type PartitionReport struct {
+	// Regions is the number of regions actually cut.
+	Regions int `json:"regions"`
+	// MinRegionNodes/MaxRegionNodes bound the region sizes.
+	MinRegionNodes int `json:"minRegionNodes"`
+	MaxRegionNodes int `json:"maxRegionNodes"`
+	// CutEdges is the number of topology links crossing region borders.
+	CutEdges int `json:"cutEdges"`
+	// BoundaryNodes is the number of cut-edge endpoints.
+	BoundaryNodes int `json:"boundaryNodes"`
+	// Halo is the effective re-bid radius used (after defaulting).
+	Halo int `json:"halo"`
+	// HaloNodes is the number of nodes within Halo hops of the boundary.
+	HaloNodes int `json:"haloNodes"`
+	// RebidCandidates counts the boundary-adjacent copies re-evaluated by
+	// the reconciliation pass; DroppedCopies counts how many of them were
+	// removed as redundant across the cut.
+	RebidCandidates int `json:"rebidCandidates"`
+	DroppedCopies   int `json:"droppedCopies"`
+	// MatrixCells is the summed size of the per-region cost matrices
+	// (Σ nᵢ²); FullMatrixCells is the N² a global solve would allocate.
+	// Their ratio is the sharded path's peak-memory saving.
+	MatrixCells     int `json:"matrixCells"`
+	FullMatrixCells int `json:"fullMatrixCells"`
+}

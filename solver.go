@@ -49,6 +49,11 @@ type Solver struct {
 	mu    sync.Mutex
 	base  *costmodel.Model // empty-state topology model; read-only once built
 	stats SolverStats
+
+	// planMu guards plans, the memoised partition plans of the sharded
+	// solve path, keyed by requested region count.
+	planMu sync.Mutex
+	plans  map[int]*partitionPlan
 }
 
 // SolverStats counts how solves obtained their cost matrices.
@@ -60,12 +65,25 @@ type SolverStats struct {
 	// WarmSolves counts solves served from the pre-built base model (a
 	// fork for the approximation, a read-only borrow for the baselines).
 	WarmSolves int `json:"warmSolves"`
+	// PartitionedSolves counts solves served by the sharded
+	// (partition-and-stitch) engine.
+	PartitionedSolves int `json:"partitionedSolves"`
+	// PartitionPlans counts distinct partition plans built — one per
+	// requested region count, each holding its regions' subtopologies,
+	// path caches and base cost models across solves.
+	PartitionPlans int `json:"partitionPlans"`
 }
 
-// NewSolver returns a Solver bound to the given topology.
+// NewSolver returns a Solver bound to the given topology. Disconnected
+// topologies are rejected up front with ErrNotConnected (an
+// ErrBadArgument): unreachable nodes would silently never be assigned a
+// nearby copy, and the partitioner could not cover them at all.
 func NewSolver(t *Topology) (*Solver, error) {
 	if t == nil || t.g == nil {
 		return nil, fmt.Errorf("%w: nil topology", ErrBadArgument)
+	}
+	if !t.g.Connected() {
+		return nil, ErrNotConnected
 	}
 	return &Solver{topo: t, pc: graph.NewPathCache(t.g)}, nil
 }
@@ -129,6 +147,12 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 		return nil, fmt.Errorf("%w: chunk count %d must be positive", ErrBadArgument, req.Chunks)
 	}
 	o := req.Options.withDefaults()
+	if o.Partition != nil {
+		if alg != AlgorithmApprox {
+			return nil, fmt.Errorf("%w: partitioned solves support only AlgorithmApprox, got %q", ErrBadArgument, string(alg))
+		}
+		return s.solvePartitioned(ctx, req, o)
+	}
 	switch alg {
 	case AlgorithmApprox:
 		return s.solveApprox(ctx, req, o)
@@ -145,8 +169,8 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 	}
 }
 
-// solveApprox runs the paper's centralized approximation (Algorithm 1).
-func (s *Solver) solveApprox(ctx context.Context, req Request, o Options) (*Result, error) {
+// coreOptions maps public approximation options onto the engine's.
+func coreOptions(o Options) core.Options {
 	coreOpts := core.DefaultOptions()
 	coreOpts.FairnessWeight = o.FairnessWeight
 	coreOpts.BatteryWeight = o.BatteryWeight
@@ -165,6 +189,12 @@ func (s *Solver) solveApprox(ctx context.Context, req Request, o Options) (*Resu
 	}
 	coreOpts.Workers = o.Workers
 	coreOpts.ChunkStarted = o.ChunkStarted
+	return coreOpts
+}
+
+// solveApprox runs the paper's centralized approximation (Algorithm 1).
+func (s *Solver) solveApprox(ctx context.Context, req Request, o Options) (*Result, error) {
+	coreOpts := coreOptions(o)
 	coreOpts.PathCache = s.pc
 	solver, err := core.New(s.topo.g, coreOpts)
 	if err != nil {
