@@ -421,3 +421,31 @@ func BenchmarkAblationGreedyVsPrimalDual(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAdaptReplay replays a 100k-request Zipf trace through the
+// adaptive demand subsystem (seed, serve, periodic adaptation passes) on
+// a 9×9 grid — the evaluation's CI-scale scenario. The reported hit-rate
+// metric tracks the policy's steady-state quality alongside its cost.
+func BenchmarkAdaptReplay(b *testing.B) {
+	sc := eval.AdaptiveScenario{
+		Rows: 9, Cols: 9,
+		Chunks:     48,
+		Requests:   100_000,
+		AdaptEvery: 5_000,
+		DriftEvery: -1,
+	}
+	var hitRate float64
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.RunAdaptive(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Policy == "adaptive" {
+				hitRate = r.HitRate
+			}
+		}
+	}
+	b.ReportMetric(hitRate, "hit-rate")
+	b.ReportMetric(float64(sc.Requests*3)/float64(b.Elapsed().Seconds()*float64(b.N)+1e-9)/1e6, "Mreq/s")
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fig all|1|2|3|4|5|6|7|8|9|tab2] [-quick]
+//	experiments [-fig all|1|2|3|4|5|6|7|8|9|tab2|abl|part|adapt] [-quick]
 //
 // -quick shrinks network sizes and search budgets for a fast smoke run.
 package main
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 1-9, tab2, abl")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1-9, tab2, abl, part, adapt")
 	quick := flag.Bool("quick", false, "use reduced sizes and budgets")
 	flag.Parse()
 
@@ -40,18 +40,19 @@ type config struct {
 func run(fig string, quick bool) error {
 	c := config{quick: quick}
 	runners := map[string]func() error{
-		"1":    c.fig1,
-		"2":    c.fig2,
-		"3":    c.fig3,
-		"4":    c.fig4,
-		"5":    c.fig5,
-		"6":    c.fig6,
-		"7":    c.fig7,
-		"8":    c.fig8,
-		"9":    c.fig9,
-		"tab2": c.table2,
-		"abl":  c.ablations,
-		"part": c.partitioned,
+		"1":     c.fig1,
+		"2":     c.fig2,
+		"3":     c.fig3,
+		"4":     c.fig4,
+		"5":     c.fig5,
+		"6":     c.fig6,
+		"7":     c.fig7,
+		"8":     c.fig8,
+		"9":     c.fig9,
+		"tab2":  c.table2,
+		"abl":   c.ablations,
+		"part":  c.partitioned,
+		"adapt": c.adaptive,
 	}
 	if fig != "all" {
 		r, ok := runners[fig]
@@ -60,7 +61,7 @@ func run(fig string, quick bool) error {
 		}
 		return r()
 	}
-	for _, key := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "tab2", "abl", "part"} {
+	for _, key := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "tab2", "abl", "part", "adapt"} {
 		if err := runners[key](); err != nil {
 			return fmt.Errorf("fig %s: %w", key, err)
 		}
@@ -446,6 +447,39 @@ func (c config) partitioned() error {
 		})
 	}
 	printTable([]string{"topology", "nodes", "regions", "global cost", "sharded cost", "ratio", "global ms", "sharded ms", "dropped", "matrix cells vs N²"}, out)
+	return nil
+}
+
+func (c config) adaptive() error {
+	header("Adaptive caching — 1M-request Zipf trace replay (15×15 grid)")
+	sc := eval.AdaptiveScenario{}
+	if c.quick {
+		sc.Rows, sc.Cols = 9, 9
+		sc.Chunks = 48
+		sc.Requests = 100_000
+		sc.AdaptEvery = 5_000
+	}
+	rows, err := eval.RunAdaptive(sc)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Policy,
+			fmt.Sprintf("%.4f", r.HitRate),
+			fmt.Sprintf("%.4f", r.CacheRate),
+			fmt.Sprintf("%.3f", r.MeanCost),
+			fmt.Sprintf("%.0f", r.P99Cost),
+			fmt.Sprintf("%.3f", r.GiniMean),
+			fmt.Sprintf("%.3f", r.GiniFinal),
+			fmt.Sprint(r.Evictions),
+			fmt.Sprint(r.Adaptations),
+			fmt.Sprint(r.CopiesPlaced),
+			fmt.Sprintf("%.0f", r.Ms),
+		})
+	}
+	printTable([]string{"policy", "hit-rate", "cache-rate", "mean cost", "p99 cost", "gini mean", "gini final", "evictions", "adaptations", "copies placed", "ms"}, out)
 	return nil
 }
 

@@ -36,10 +36,11 @@ func captureRun(t *testing.T, fig string, quick bool) string {
 // each emits a non-empty markdown table under its header.
 func TestFigureBuildersSmoke(t *testing.T) {
 	cases := map[string]string{
-		"3":    "Fig. 3",
-		"6":    "Fig. 6",
-		"tab2": "TABLE II",
-		"abl":  "Ablations",
+		"3":     "Fig. 3",
+		"6":     "Fig. 6",
+		"tab2":  "TABLE II",
+		"abl":   "Ablations",
+		"adapt": "Adaptive caching",
 	}
 	for fig, wantHeader := range cases {
 		out := captureRun(t, fig, true)

@@ -183,6 +183,8 @@ func describePayload(kind string, payload []byte) string {
 		return fmt.Sprintf("solve    %s version=%d source=%s chunks=%d", rec.ID, rec.Snap.Version, rec.Snap.Source, rec.Snap.Chunks)
 	case server.WALPublish:
 		return fmt.Sprintf("publish  %s version=%d clock=%d count=%d", rec.ID, rec.Snap.Version, rec.Snap.Clock, rec.Count)
+	case server.WALAdapt:
+		return fmt.Sprintf("adapt    %s version=%d chunks=%d", rec.ID, rec.Snap.Version, rec.Snap.Chunks)
 	case server.WALDelete:
 		return fmt.Sprintf("delete   %s", rec.ID)
 	default:

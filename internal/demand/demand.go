@@ -1,0 +1,483 @@
+// Package demand is the request-driven adaptive caching subsystem: it
+// serves a live stream of chunk requests against the current placement,
+// maintains online popularity estimates (sliding window + EWMA, package
+// Tracker), and periodically re-places the most mispositioned chunks
+// through delta updates to the shared incremental cost model — warm
+// mutations via Commit/Evict, never a full rebuild. It generalizes
+// package online from publication-driven to request-driven operation,
+// following the adaptation-loop design of Ioannidis & Yeh (Adaptive
+// Caching Networks with Optimality Guarantees) and the demand-weighted
+// diversity/redundancy tradeoff of Wang et al.
+//
+// A System is not safe for concurrent use; callers (the server's
+// per-topology worker, the eval replayer) serialize mutations exactly as
+// they do for the online system. Stats alone may be read concurrently.
+package demand
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/pool"
+)
+
+// Errors returned by the demand system.
+var ErrBadInput = errors.New("demand: invalid input")
+
+// Options configures the adaptive caching system. Zero values select the
+// documented defaults.
+type Options struct {
+	// Capacity is the per-node cache capacity in chunks (default 5, the
+	// paper's evaluation value). Ignored when Model is set — the model's
+	// state fixes the capacities.
+	Capacity int
+	// FairnessWeight and BatteryWeight mirror the core solver options and
+	// must match Model's weights when one is injected. FairnessWeight
+	// defaults to 1.
+	FairnessWeight float64
+	BatteryWeight  float64
+	// Workers sizes the solver pool for seeding and adaptation placements.
+	Workers int
+	// Eviction selects the replacement strategy consulted when the
+	// adaptation loop frees capacity; nil selects the cost-aware strategy
+	// backed by the system's demand-weighted marginal-cost estimate.
+	Eviction cache.EvictionStrategy
+	// HitRadius is the hop distance within which a cache copy counts as a
+	// local hit (default 2, the paper's K-hop neighborhood).
+	HitRadius int
+	// TopDelta bounds how many top-demand chunks one adaptation pass
+	// re-examines (default 8).
+	TopDelta int
+	// CopyBudget bounds how many existing copies one adaptation pass may
+	// displace: pressure-eviction frees at most this many occupied slots
+	// (default 3×TopDelta). Free capacity is always eligible for filling
+	// — the redundancy phase places into every free slot with a positive
+	// demand-weighted gain, so the network's storage is actually used.
+	CopyBudget int
+	// FairnessBias scales the storage-fairness penalty inside the
+	// redundancy greedy, trading hit-rate against Gini (default 0.02).
+	// Negative disables the penalty.
+	FairnessBias float64
+	// WindowBuckets and BucketSize shape the popularity tracker's sliding
+	// window (defaults 8 buckets × 2048 requests); Alpha is its EWMA
+	// weight (default 0.3).
+	WindowBuckets int
+	BucketSize    int
+	Alpha         float64
+	// Model, when non-nil, supplies a caller-owned cost model to adopt —
+	// the warm-fork hook the root Solver uses so adaptive systems skip
+	// the cold all-pairs build. The model's graph must be the system's
+	// graph and its state must be empty.
+	Model *costmodel.Model
+}
+
+func (o Options) withDefaults() Options {
+	if o.Capacity == 0 {
+		o.Capacity = 5
+	}
+	if o.FairnessWeight == 0 {
+		o.FairnessWeight = 1
+	}
+	if o.HitRadius == 0 {
+		o.HitRadius = 2
+	}
+	if o.TopDelta == 0 {
+		o.TopDelta = 8
+	}
+	if o.CopyBudget == 0 {
+		o.CopyBudget = 3 * o.TopDelta
+	}
+	if o.FairnessBias == 0 {
+		o.FairnessBias = 0.02
+	} else if o.FairnessBias < 0 {
+		o.FairnessBias = 0
+	}
+	if o.WindowBuckets == 0 {
+		o.WindowBuckets = 8
+	}
+	if o.BucketSize == 0 {
+		o.BucketSize = 2048
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.3
+	}
+	return o
+}
+
+// Stats is a snapshot of the system's request/adaptation counters.
+type Stats struct {
+	// Requests counts observed request events.
+	Requests int64
+	// LocalHits counts requests served by a cache copy within HitRadius
+	// hops; CacheHits counts requests served by any cache copy;
+	// ProducerServed counts requests that fell through to the producer.
+	LocalHits      int64
+	CacheHits      int64
+	ProducerServed int64
+	// Evictions, Adaptations and CopiesPlaced count the adaptation loop's
+	// work (seeding does not count toward CopiesPlaced).
+	Evictions    int64
+	Adaptations  int64
+	CopiesPlaced int64
+	// CostSum totals the hop-distance retrieval cost over all requests.
+	CostSum float64
+}
+
+// HitRate returns the fraction of requests served within HitRadius.
+func (s Stats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.LocalHits) / float64(s.Requests)
+}
+
+// CacheRate returns the fraction of requests served by any cache copy.
+func (s Stats) CacheRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Requests)
+}
+
+// MeanCost returns the mean hop-distance retrieval cost per request.
+func (s Stats) MeanCost() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return s.CostSum / float64(s.Requests)
+}
+
+// System is one adaptive caching instance: a live cost model, the current
+// placement, a popularity tracker, and an eviction strategy.
+type System struct {
+	g        *graph.Graph
+	producer int
+	chunks   int
+	opts     Options
+
+	solver  *core.Solver
+	model   *costmodel.Model
+	st      *cache.State
+	strat   cache.EvictionStrategy
+	tracker *Tracker
+
+	hop     [][]int // all-pairs hop distances
+	holders [][]int // per-chunk holder lists, sorted
+
+	clock int64
+
+	// oracle state for the built-in cost-aware strategy: per-copy
+	// demand-weighted marginal retrieval costs, rebuilt each eviction pass.
+	costOracle map[int64]float64
+
+	statsMu sync.Mutex
+	stats   Stats
+	hist    []int64 // request count by retrieval hop distance
+}
+
+// New builds an adaptive system over a connected topology. The producer
+// holds every chunk locally and never caches; chunk ids are [0, chunks).
+func New(g *graph.Graph, producer, chunks int, opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	if g == nil || g.NumNodes() < 2 {
+		return nil, fmt.Errorf("%w: nil or trivial topology", ErrBadInput)
+	}
+	if producer < 0 || producer >= g.NumNodes() {
+		return nil, fmt.Errorf("%w: producer %d", ErrBadInput, producer)
+	}
+	if chunks < 1 {
+		return nil, fmt.Errorf("%w: chunks %d", ErrBadInput, chunks)
+	}
+	var (
+		model *costmodel.Model
+		st    *cache.State
+		pc    *graph.PathCache
+	)
+	if opts.Model != nil {
+		model = opts.Model
+		if model.Graph() != g {
+			return nil, fmt.Errorf("%w: injected model bound to another topology", ErrBadInput)
+		}
+		if mo := model.Options(); mo.FairnessWeight != opts.FairnessWeight || mo.BatteryWeight != opts.BatteryWeight {
+			return nil, fmt.Errorf("%w: injected model weights (%g, %g) differ from options (%g, %g)",
+				ErrBadInput, mo.FairnessWeight, mo.BatteryWeight, opts.FairnessWeight, opts.BatteryWeight)
+		}
+		st = model.State()
+		if st.TotalStored() != 0 {
+			return nil, fmt.Errorf("%w: injected model state is not empty", ErrBadInput)
+		}
+		pc = model.PathCache()
+	} else {
+		if opts.Capacity < 1 {
+			return nil, fmt.Errorf("%w: capacity %d", ErrBadInput, opts.Capacity)
+		}
+		pc = graph.NewPathCache(g)
+		st = cache.NewState(g.NumNodes(), opts.Capacity)
+		var err error
+		model, err = costmodel.New(g, pc, st, costmodel.Options{
+			FairnessWeight: opts.FairnessWeight,
+			BatteryWeight:  opts.BatteryWeight,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+	}
+	coreOpts := core.DefaultOptions()
+	coreOpts.FairnessWeight = opts.FairnessWeight
+	coreOpts.BatteryWeight = opts.BatteryWeight
+	coreOpts.Workers = opts.Workers
+	coreOpts.PathCache = pc
+	solver, err := core.New(g, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	hop := make([][]int, n)
+	for i := 0; i < n; i++ {
+		hop[i] = append([]int(nil), pc.HopDistances(i)...)
+	}
+	strat := opts.Eviction
+	s := &System{
+		g:        g,
+		producer: producer,
+		chunks:   chunks,
+		opts:     opts,
+		solver:   solver,
+		model:    model,
+		st:       st,
+		tracker:  NewTracker(chunks, n, opts.WindowBuckets, opts.BucketSize, opts.Alpha),
+		hop:      hop,
+		holders:  make([][]int, chunks),
+		hist:     make([]int64, maxHop(hop)+2),
+	}
+	if strat == nil {
+		s.costOracle = make(map[int64]float64)
+		ca := cache.NewCostAware(func(node, chunk int) float64 {
+			return s.costOracle[copyID(node, chunk)]
+		})
+		strat = ca
+	}
+	s.strat = strat
+	return s, nil
+}
+
+func maxHop(hop [][]int) int {
+	m := 0
+	for _, row := range hop {
+		for _, h := range row {
+			if h > m {
+				m = h
+			}
+		}
+	}
+	return m
+}
+
+// copyID packs a (node, chunk) pair into one map key.
+func copyID(node, chunk int) int64 { return int64(node)<<32 | int64(uint32(chunk)) }
+
+// SeedCtx runs the fair-caching approximation once over all chunks
+// against the empty state — the static initial placement the adaptation
+// loop then refines. It must be called exactly once, before any request.
+func (s *System) SeedCtx(ctx context.Context) error {
+	if s.clock != 0 || s.st.TotalStored() != 0 {
+		return fmt.Errorf("%w: seed on a non-empty system", ErrBadInput)
+	}
+	p, err := s.solver.PlaceModelCtx(ctx, s.producer, s.chunks, s.model)
+	if err != nil {
+		return err
+	}
+	for _, cr := range p.Chunks {
+		s.holders[cr.Chunk] = append([]int(nil), cr.CacheNodes...)
+		for _, v := range cr.CacheNodes {
+			s.strat.OnStore(v, cr.Chunk, s.clock)
+		}
+	}
+	return nil
+}
+
+// Producer returns the producer node.
+func (s *System) Producer() int { return s.producer }
+
+// Chunks returns the chunk-id space size.
+func (s *System) Chunks() int { return s.chunks }
+
+// State returns the live cache state (read-only for callers).
+func (s *System) State() *cache.State { return s.st }
+
+// Model returns the live cost model, the hook for verification tests.
+func (s *System) Model() *costmodel.Model { return s.model }
+
+// Strategy returns the eviction strategy in use.
+func (s *System) Strategy() cache.EvictionStrategy { return s.strat }
+
+// Tracker returns the popularity tracker.
+func (s *System) Tracker() *Tracker { return s.tracker }
+
+// Holders returns the nodes currently caching chunk k, sorted.
+func (s *System) Holders(k int) []int {
+	if k < 0 || k >= s.chunks {
+		return nil
+	}
+	return append([]int(nil), s.holders[k]...)
+}
+
+// Placement returns a copy of every chunk's holder list.
+func (s *System) Placement() [][]int {
+	out := make([][]int, s.chunks)
+	for k := range s.holders {
+		out[k] = append([]int(nil), s.holders[k]...)
+	}
+	return out
+}
+
+// Gini returns the Gini coefficient of the per-node cached-chunk counts.
+func (s *System) Gini() float64 { return metrics.Gini(s.st.Counts()) }
+
+// Stats returns a snapshot of the counters. Safe to call concurrently
+// with Observe/Adapt from the owning goroutine's perspective (the
+// counters are mutex-guarded; the placement itself is not).
+func (s *System) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// P99Cost returns the 99th-percentile hop-distance retrieval cost.
+func (s *System) P99Cost() float64 { return s.PercentileCost(0.99) }
+
+// PercentileCost returns the q-quantile (q in (0,1]) of the retrieval
+// cost distribution, from the exact hop histogram.
+func (s *System) PercentileCost(q float64) float64 {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if s.stats.Requests == 0 {
+		return 0
+	}
+	need := int64(q * float64(s.stats.Requests))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for h, c := range s.hist {
+		cum += c
+		if cum >= need {
+			return float64(h)
+		}
+	}
+	return float64(len(s.hist) - 1)
+}
+
+// nearestServer returns the serving node and hop distance for a request
+// (j, k): the closest current holder of k, falling back to the producer.
+// Ties prefer a cache copy over the producer, then the lowest node id
+// (holder lists are sorted), so serving is deterministic.
+func (s *System) nearestServer(j, k int) (server, hops int) {
+	best, bestD := s.producer, s.hop[j][s.producer]
+	if bestD == graph.Unreachable {
+		bestD = int(^uint(0) >> 1) // unreachable producer: any holder wins
+	}
+	fromCache := false
+	for _, v := range s.holders[k] {
+		if d := s.hop[j][v]; d != graph.Unreachable && (d < bestD || (d == bestD && !fromCache)) {
+			best, bestD, fromCache = v, d, true
+		}
+	}
+	return best, bestD
+}
+
+// Observe serves one request event: node asks for chunk. It updates the
+// popularity tracker, the hit/miss accounting and the eviction
+// strategy's recency/frequency state, and returns the serving node and
+// its hop distance.
+func (s *System) Observe(node, chunk int) (server, hops int, err error) {
+	if node < 0 || node >= s.g.NumNodes() {
+		return 0, 0, fmt.Errorf("%w: node %d", ErrBadInput, node)
+	}
+	if chunk < 0 || chunk >= s.chunks {
+		return 0, 0, fmt.Errorf("%w: chunk %d", ErrBadInput, chunk)
+	}
+	server, hops = s.nearestServer(node, chunk)
+	s.clock++
+	if server != s.producer {
+		s.strat.OnAccess(server, chunk, s.clock)
+	}
+	s.tracker.Observe(node, chunk)
+
+	s.statsMu.Lock()
+	s.stats.Requests++
+	s.stats.CostSum += float64(hops)
+	if server != s.producer {
+		s.stats.CacheHits++
+		if hops <= s.opts.HitRadius {
+			s.stats.LocalHits++
+		}
+	} else {
+		s.stats.ProducerServed++
+	}
+	if hops >= 0 && hops < len(s.hist) {
+		s.hist[hops]++
+	} else {
+		s.hist[len(s.hist)-1]++
+	}
+	s.statsMu.Unlock()
+	return server, hops, nil
+}
+
+// holdersAdd inserts v into chunk k's sorted holder list.
+func (s *System) holdersAdd(k, v int) {
+	h := s.holders[k]
+	i := sort.SearchInts(h, v)
+	if i < len(h) && h[i] == v {
+		return
+	}
+	h = append(h, 0)
+	copy(h[i+1:], h[i:])
+	h[i] = v
+	s.holders[k] = h
+}
+
+// holdersRemove deletes v from chunk k's holder list.
+func (s *System) holdersRemove(k, v int) {
+	h := s.holders[k]
+	i := sort.SearchInts(h, v)
+	if i < len(h) && h[i] == v {
+		s.holders[k] = append(h[:i], h[i+1:]...)
+	}
+}
+
+// commit stores chunk k on node v through the model and syncs the holder
+// list and strategy.
+func (s *System) commit(v, k int) error {
+	if err := s.model.Commit(v, k); err != nil {
+		return err
+	}
+	s.holdersAdd(k, v)
+	s.strat.OnStore(v, k, s.clock)
+	return nil
+}
+
+// evict removes chunk k from node v through the model and syncs the
+// holder list and strategy, reporting whether a copy was removed.
+func (s *System) evict(v, k int) bool {
+	if !s.model.Evict(v, k) {
+		return false
+	}
+	s.holdersRemove(k, v)
+	s.strat.OnEvict(v, k)
+	s.statsMu.Lock()
+	s.stats.Evictions++
+	s.statsMu.Unlock()
+	return true
+}
+
+// newPool returns the worker pool adaptation passes fan out over.
+func (s *System) newPool() *pool.Pool { return pool.New(pool.Normalize(s.opts.Workers)) }

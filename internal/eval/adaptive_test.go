@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"testing"
+)
+
+// smokeScenario shrinks the replay to CI scale: a 100k-request trace on
+// a smaller grid, adapting often enough to converge inside the budget.
+func smokeScenario() AdaptiveScenario {
+	return AdaptiveScenario{
+		Rows: 9, Cols: 9,
+		Chunks:     48,
+		Requests:   100_000,
+		AdaptEvery: 5_000,
+		DriftEvery: -1, // stationary popularity: the smoke asserts convergence
+	}
+}
+
+func TestAdaptReplaySmoke(t *testing.T) {
+	rows, err := RunAdaptive(smokeScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byPolicy := map[string]AdaptiveRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+		if r.HitRate < 0 || r.HitRate > 1 || r.CacheRate < r.HitRate {
+			t.Errorf("%s: inconsistent rates: %+v", r.Policy, r)
+		}
+		if r.MeanCost < 0 || r.P99Cost < r.MeanCost {
+			t.Errorf("%s: inconsistent costs: %+v", r.Policy, r)
+		}
+	}
+	static, lru, adaptive := byPolicy["static"], byPolicy["lru"], byPolicy["adaptive"]
+	if adaptive.HitRate <= static.HitRate {
+		t.Errorf("adaptive hit-rate %.4f does not beat static %.4f", adaptive.HitRate, static.HitRate)
+	}
+	if adaptive.GiniFinal > static.GiniFinal {
+		t.Errorf("adaptive GiniFinal %.4f worse than static %.4f", adaptive.GiniFinal, static.GiniFinal)
+	}
+	if adaptive.Adaptations == 0 || adaptive.CopiesPlaced == 0 {
+		t.Errorf("adaptive did no work: %+v", adaptive)
+	}
+	if lru.Evictions == 0 {
+		t.Errorf("lru baseline did not churn: %+v", lru)
+	}
+}
+
+func TestAdaptReplayDeterministic(t *testing.T) {
+	sc := smokeScenario()
+	sc.Requests = 30_000
+	run := func() []AdaptiveRow {
+		rows, err := RunAdaptive(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(), run()
+	for i := range a {
+		// Ms is wall time; everything else must replay identically.
+		a[i].Ms, b[i].Ms = 0, 0
+		if a[i] != b[i] {
+			t.Errorf("row %d diverged:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}

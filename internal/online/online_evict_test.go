@@ -1,0 +1,137 @@
+package online
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+)
+
+// TestTTLOneEvictsAtNextPublication pins the TTL clock semantics: a chunk
+// published at time t with TTL=1 is gone before the publication at t+1.
+func TestTTLOneEvictsAtNextPublication(t *testing.T) {
+	g := graph.NewGrid(4, 4)
+	opts := DefaultOptions()
+	opts.TTL = 1
+	sys, err := New(g, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sys.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.CacheNodes) == 0 {
+		t.Fatal("first publication placed nothing")
+	}
+	second, err := sys.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Expired) != 1 || second.Expired[0] != first.Chunk {
+		t.Fatalf("second publication expired %v, want [%d]", second.Expired, first.Chunk)
+	}
+	if hs := sys.Holders(first.Chunk); len(hs) != 0 {
+		t.Fatalf("chunk %d still held by %v after TTL=1 expiry", first.Chunk, hs)
+	}
+}
+
+// TestTTLNeverExpires pins the TTL<=0 encoding ("never expire", the
+// public ChunkTTL=-1 mapping): no chunk is ever evicted, storage only
+// grows until the network is full.
+func TestTTLNeverExpires(t *testing.T) {
+	g := graph.NewGrid(4, 4)
+	opts := DefaultOptions()
+	opts.TTL = 0
+	opts.Capacity = 2
+	sys, err := New(g, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, placed := 0, 0
+	for i := 0; i < 12; i++ {
+		pub, err := sys.Publish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pub.Expired) != 0 || len(pub.Evicted) != 0 {
+			t.Fatalf("publication %d evicted %v/%v under TTL<=0", i, pub.Expired, pub.Evicted)
+		}
+		if len(pub.CacheNodes) > 0 {
+			placed++
+		}
+		total := 0
+		for _, c := range sys.Counts() {
+			total += c
+		}
+		if total < prev {
+			t.Fatalf("publication %d: stored copies shrank %d -> %d without eviction", i, prev, total)
+		}
+		prev = total
+	}
+	// Every chunk that got a copy keeps it forever; chunks arriving after
+	// the network filled were never placed at all — the deadlock the
+	// eviction strategy exists to break.
+	if len(sys.Live()) != placed {
+		t.Fatalf("live %d != placed %d under never-expire", len(sys.Live()), placed)
+	}
+}
+
+// TestEvictionStrategyConflictsWithTTL pins the typed error: a positive
+// TTL and an eviction strategy cannot be combined.
+func TestEvictionStrategyConflictsWithTTL(t *testing.T) {
+	g := graph.NewGrid(3, 3)
+	opts := DefaultOptions() // TTL = 5
+	opts.Eviction = cache.NewLRU()
+	_, err := New(g, 0, opts)
+	if !errors.Is(err, ErrEvictionConflict) {
+		t.Fatalf("err = %v, want ErrEvictionConflict", err)
+	}
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("ErrEvictionConflict should satisfy ErrBadInput, got %v", err)
+	}
+}
+
+// TestEvictionStrategyRecyclesStorage runs a strategy system (TTL
+// disabled) long past the point where TTL-free storage would deadlock and
+// asserts pressure eviction keeps placements flowing and capacity holds.
+func TestEvictionStrategyRecyclesStorage(t *testing.T) {
+	for _, strat := range []cache.EvictionStrategy{cache.NewLRU(), cache.NewLFU()} {
+		g := graph.NewGrid(4, 4)
+		opts := DefaultOptions()
+		opts.TTL = 0
+		opts.Capacity = 2
+		opts.Eviction = strat
+		sys, err := New(g, 0, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		sawEviction := false
+		for i := 0; i < 40; i++ {
+			pub, err := sys.Publish()
+			if err != nil {
+				t.Fatalf("%s: publication %d: %v", strat.Name(), i, err)
+			}
+			if len(pub.Evicted) > 0 {
+				sawEviction = true
+				for _, c := range pub.Evicted {
+					if sys.st.Has(c.Node, c.Chunk) {
+						t.Fatalf("%s: evicted copy %v still present", strat.Name(), c)
+					}
+				}
+			}
+			if len(pub.CacheNodes) == 0 {
+				t.Fatalf("%s: publication %d placed nothing — storage deadlocked", strat.Name(), i)
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				if sys.st.Free(v) < 0 {
+					t.Fatalf("%s: node %d over capacity", strat.Name(), v)
+				}
+			}
+		}
+		if !sawEviction {
+			t.Fatalf("%s: 40 publications on a 32-slot network never evicted", strat.Name())
+		}
+	}
+}

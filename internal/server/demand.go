@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"net/http"
+
+	faircache "repro"
+
+	"repro/internal/metrics"
+)
+
+// maxRequestBatch caps the event count of one requests batch; larger
+// streams are reported in consecutive calls.
+const maxRequestBatch = 8192
+
+// DemandInit configures a topology's demand subsystem on first use. It
+// may only accompany the first requests batch; later batches must omit
+// it. The subsystem is in-memory only: a restart drops it, and the next
+// requests batch re-initializes from a fresh static seed.
+type DemandInit struct {
+	// Chunks is the chunk-id space (default: the committed snapshot's
+	// chunk count; required when no solve or publish has committed).
+	Chunks int `json:"chunks,omitempty"`
+	// Capacity is the subsystem's per-node capacity (default: the
+	// topology's registered capacity).
+	Capacity int `json:"capacity,omitempty"`
+	// Eviction names the replacement strategy: cost (default), lru, lfu.
+	Eviction string `json:"eviction,omitempty"`
+	// HitRadius, TopDelta and CopyBudget tune serving and adaptation with
+	// faircache.AdaptiveOptions semantics.
+	HitRadius  int `json:"hitRadius,omitempty"`
+	TopDelta   int `json:"topDelta,omitempty"`
+	CopyBudget int `json:"copyBudget,omitempty"`
+}
+
+// DemandInfo reports a topology's demand subsystem state; nil in
+// TopologyInfo means no request has been reported yet.
+type DemandInfo struct {
+	Chunks   int `json:"chunks"`
+	Capacity int `json:"capacity"`
+	faircache.AdaptiveStats
+}
+
+// RequestsRequest is the body of POST /v1/topologies/{id}/requests.
+type RequestsRequest struct {
+	// Events is the request batch, at most maxRequestBatch entries.
+	Events []faircache.RequestEvent `json:"events"`
+	// Init configures the demand subsystem when this is the first batch.
+	Init *DemandInit `json:"init,omitempty"`
+}
+
+// RequestsResponse reports one ingested batch.
+type RequestsResponse struct {
+	// Batch is this call's hit/miss accounting; Demand the cumulative
+	// subsystem state.
+	Batch  faircache.BatchResult `json:"batch"`
+	Demand *DemandInfo           `json:"demand"`
+}
+
+// initAdaptive builds the topology's demand subsystem. Worker goroutine
+// only.
+func (tp *topology) initAdaptive(ctx context.Context, init *DemandInit) error {
+	cfg := DemandInit{}
+	if init != nil {
+		cfg = *init
+	}
+	if cfg.Chunks == 0 {
+		cfg.Chunks = tp.snap.Load().Chunks
+	}
+	if cfg.Chunks < 1 {
+		return badRequestf("no chunks known: solve or publish first, or set init.chunks")
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = tp.capacity
+	}
+	adaptive, err := tp.solver.NewAdaptive(ctx, tp.producer, cfg.Chunks, &faircache.AdaptiveOptions{
+		Capacity:   cfg.Capacity,
+		Eviction:   cfg.Eviction,
+		HitRadius:  cfg.HitRadius,
+		TopDelta:   cfg.TopDelta,
+		CopyBudget: cfg.CopyBudget,
+	})
+	if err != nil {
+		return err
+	}
+	tp.adaptive = adaptive
+	tp.demandCapacity = cfg.Capacity
+	return nil
+}
+
+// demandInfo snapshots the subsystem's cumulative state for readers.
+// Worker goroutine only; the result is stored atomically for the list
+// and get handlers.
+func (tp *topology) demandInfo() *DemandInfo {
+	info := &DemandInfo{
+		Chunks:        tp.adaptive.Chunks(),
+		Capacity:      tp.demandCapacity,
+		AdaptiveStats: tp.adaptive.Stats(),
+	}
+	tp.demand.Store(info)
+	return info
+}
+
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	tp, terr := s.lookupTopology(r.PathValue("id"))
+	if terr != nil {
+		s.writeError(w, terr)
+		return
+	}
+	var req RequestsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Events) == 0 {
+		s.writeError(w, badRequestf("empty events batch"))
+		return
+	}
+	if len(req.Events) > maxRequestBatch {
+		s.writeError(w, badRequestf("batch has %d events, limit is %d", len(req.Events), maxRequestBatch))
+		return
+	}
+	v, err := tp.do(r.Context(), func(cctx context.Context) (any, error) {
+		if tp.adaptive == nil {
+			if err := tp.initAdaptive(cctx, req.Init); err != nil {
+				return nil, err
+			}
+		} else if req.Init != nil {
+			return nil, badRequestf("demand subsystem already initialized; omit init")
+		}
+		batch, err := tp.adaptive.Report(req.Events)
+		if err != nil {
+			return nil, err
+		}
+		s.vars.Add("demand_requests", batch.Requests)
+		s.vars.Add("demand_hits", batch.LocalHits)
+		s.vars.Add("demand_misses", batch.Requests-batch.CacheHits)
+		return &RequestsResponse{Batch: batch, Demand: tp.demandInfo()}, nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// AdaptResponse reports one committed adaptation pass.
+type AdaptResponse struct {
+	Version    int                         `json:"version"`
+	Adaptation *faircache.AdaptationResult `json:"adaptation"`
+	Holders    map[int][]int               `json:"holders"`
+	Counts     []int                       `json:"counts"`
+	Gini       float64                     `json:"gini"`
+	Demand     *DemandInfo                 `json:"demand"`
+}
+
+func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	tp, terr := s.lookupTopology(r.PathValue("id"))
+	if terr != nil {
+		s.writeError(w, terr)
+		return
+	}
+	v, err := tp.do(r.Context(), func(cctx context.Context) (any, error) {
+		if tp.adaptive == nil {
+			return nil, badRequestf("no demand state: report requests before adapting")
+		}
+		res, err := tp.adaptive.Adapt(cctx)
+		if err != nil {
+			return nil, err
+		}
+		holders := make(map[int][]int)
+		for k, hs := range tp.adaptive.Placement() {
+			if len(hs) > 0 {
+				holders[k] = hs
+			}
+		}
+		prev := tp.snap.Load()
+		snap := &Snapshot{
+			Version:      tp.version + 1,
+			Source:       "adapt",
+			Producer:     tp.producer,
+			Chunks:       tp.adaptive.Chunks(),
+			Holders:      holders,
+			Counts:       tp.adaptive.Counts(),
+			Clock:        prev.Clock,
+			Solves:       prev.Solves,
+			Publications: prev.Publications,
+		}
+		// Like solve records, the adapt record carries the absolute
+		// committed snapshot; the demand stream that produced it is
+		// deliberately not logged (it is ephemeral observation state).
+		if jerr := s.journal.append(&WALRecord{Type: WALAdapt, ID: tp.id, Snap: snap},
+			func() { tp.commit(snap) }); jerr != nil {
+			return nil, jerr
+		}
+		s.vars.Add("adaptations", 1)
+		s.vars.Add("demand_evictions", int64(res.Evicted))
+		s.vars.Add("demand_copies_placed", int64(res.Placed))
+		return &AdaptResponse{
+			Version:    snap.Version,
+			Adaptation: res,
+			Holders:    snap.Holders,
+			Counts:     snap.Counts,
+			Gini:       metrics.Gini(snap.Counts),
+			Demand:     tp.demandInfo(),
+		}, nil
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}

@@ -195,6 +195,24 @@ type TopologyInfo struct {
 	Producer int    `json:"producer"`
 	Version  int    `json:"version"`
 	Chunks   int    `json:"chunks"`
+	// Demand is the demand subsystem's cumulative state, nil until the
+	// first requests batch.
+	Demand *DemandInfo `json:"demand,omitempty"`
+}
+
+// info builds the topology's list/get row from its committed snapshot.
+func (tp *topology) info() TopologyInfo {
+	snap := tp.snap.Load()
+	return TopologyInfo{
+		ID:       tp.id,
+		Kind:     tp.kind,
+		Nodes:    tp.topo.NumNodes(),
+		Links:    tp.topo.NumLinks(),
+		Producer: tp.producer,
+		Version:  snap.Version,
+		Chunks:   snap.Chunks,
+		Demand:   tp.demand.Load(),
+	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -204,16 +222,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 		if err != nil {
 			continue // deleted between ids() and here
 		}
-		snap := tp.snap.Load()
-		infos = append(infos, TopologyInfo{
-			ID:       tp.id,
-			Kind:     tp.kind,
-			Nodes:    tp.topo.NumNodes(),
-			Links:    tp.topo.NumLinks(),
-			Producer: tp.producer,
-			Version:  snap.Version,
-			Chunks:   snap.Chunks,
-		})
+		infos = append(infos, tp.info())
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Topologies []TopologyInfo `json:"topologies"`
@@ -228,16 +237,7 @@ func (s *Server) handleGetTopology(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, terr)
 		return
 	}
-	snap := tp.snap.Load()
-	writeJSON(w, http.StatusOK, TopologyInfo{
-		ID:       tp.id,
-		Kind:     tp.kind,
-		Nodes:    tp.topo.NumNodes(),
-		Links:    tp.topo.NumLinks(),
-		Producer: tp.producer,
-		Version:  snap.Version,
-		Chunks:   snap.Chunks,
-	})
+	writeJSON(w, http.StatusOK, tp.info())
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

@@ -20,6 +20,7 @@ const (
 	WALRegister = "register" // a topology was registered
 	WALSolve    = "solve"    // a one-shot solve committed
 	WALPublish  = "publish"  // a batch of online publications committed
+	WALAdapt    = "adapt"    // a demand adaptation pass committed
 	WALDelete   = "delete"   // a topology was unregistered
 )
 
@@ -108,7 +109,7 @@ func (sh *walShadow) apply(rec *WALRecord) error {
 			Producer: rec.Producer,
 			Capacity: rec.Capacity,
 		}
-	case WALSolve, WALPublish:
+	case WALSolve, WALPublish, WALAdapt:
 		ts, ok := sh.topos[rec.ID]
 		if !ok {
 			return fmt.Errorf("%s record for unknown topology %s", rec.Type, rec.ID)

@@ -20,6 +20,10 @@
 //	DELETE /v1/topologies/{id}         unregister and stop the worker
 //	POST   /v1/topologies/{id}/solve   one-shot placement (appx/dist/hopc/cont/brtf)
 //	POST   /v1/topologies/{id}/publish online chunk arrival(s)
+//	POST   /v1/topologies/{id}/requests ingest demand events (lazy-inits the
+//	                                   adaptive demand subsystem)
+//	POST   /v1/topologies/{id}/adapt   run one demand adaptation pass and
+//	                                   commit its placement
 //	GET    /v1/topologies/{id}/lookup  which node serves chunk n to requester j
 //	GET    /v1/topologies/{id}/report  snapshot + fairness metrics + storage curve
 //	GET    /healthz                    liveness
@@ -133,6 +137,8 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/topologies/{id}", s.instrument("delete", s.handleDelete))
 	s.mux.HandleFunc("POST /v1/topologies/{id}/solve", s.instrument("solve", s.handleSolve))
 	s.mux.HandleFunc("POST /v1/topologies/{id}/publish", s.instrument("publish", s.handlePublish))
+	s.mux.HandleFunc("POST /v1/topologies/{id}/requests", s.instrument("requests", s.handleRequests))
+	s.mux.HandleFunc("POST /v1/topologies/{id}/adapt", s.instrument("adapt", s.handleAdapt))
 	s.mux.HandleFunc("GET /v1/topologies/{id}/lookup", s.instrument("lookup", s.handleLookup))
 	s.mux.HandleFunc("GET /v1/topologies/{id}/report", s.instrument("report", s.handleReport))
 	return s, nil

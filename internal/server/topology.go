@@ -68,9 +68,18 @@ type topology struct {
 	snap     atomic.Pointer[Snapshot]
 	solver   *faircache.Solver
 
+	// demand is the last demand-subsystem snapshot, stored by the worker
+	// after each requests/adapt mutation and read lock-free by the list
+	// and get handlers. Nil until the first requests batch.
+	demand atomic.Pointer[DemandInfo]
+
 	// Worker-owned state below: only the run() goroutine touches it.
-	online  *faircache.OnlineSystem
-	version int
+	online *faircache.OnlineSystem
+	// adaptive is the topology's demand subsystem, built lazily by the
+	// first requests batch. In-memory only: restarts drop it.
+	adaptive       *faircache.AdaptiveSystem
+	demandCapacity int
+	version        int
 }
 
 // newTopology builds a topology and starts its worker. version and snap

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Request is one demand event: node Node asks for chunk Chunk. It is the
+// unit of the request-driven workload the adaptive caching subsystem
+// (package demand) consumes.
+type Request struct {
+	Node  int
+	Chunk int
+}
+
+// TraceSpec configures the deterministic request-trace generator. The
+// zero values of the tunables select the defaults noted on each field;
+// the same spec always yields the same request stream.
+type TraceSpec struct {
+	// Nodes and Chunks size the id spaces requests draw from.
+	Nodes  int
+	Chunks int
+	// Seed seeds both the popularity permutations and the per-request
+	// sampling. Identical seeds give identical traces.
+	Seed int64
+	// ZipfS is the Zipf exponent of the chunk popularity distribution
+	// (weight of rank r is (r+1)^-s); 0 selects 0.8. Larger values skew
+	// demand harder toward the head.
+	ZipfS float64
+	// NodeSkew is the Zipf exponent of the per-node request rates; 0
+	// selects 0.5 (mild hotspots), negative means uniform rates.
+	NodeSkew float64
+	// DriftEvery rotates the chunk popularity ranking by one position
+	// every DriftEvery requests, modeling drifting demand; 0 disables
+	// drift.
+	DriftEvery int
+	// Exclude removes one node (the producer, which holds every chunk
+	// locally) from the requester population; -1 or an out-of-range value
+	// keeps every node.
+	Exclude int
+}
+
+// Trace is a deterministic stream of requests with Zipf chunk
+// popularities, skewed per-node rates and optional popularity drift.
+// Chunk ranks are assigned through a seeded permutation, so "which chunk
+// is hot" varies with the seed while the rank weights stay Zipf.
+type Trace struct {
+	spec      TraceSpec
+	rng       *rand.Rand
+	chunkCDF  []float64 // cumulative weight by popularity rank
+	nodeCDF   []float64 // cumulative weight by rate rank
+	chunkPerm []int     // rank -> chunk id
+	nodePerm  []int     // rank -> node id
+	count     int       // requests emitted so far
+	shift     int       // accumulated drift rotations
+}
+
+// NewTrace validates the spec and returns a generator positioned at the
+// first request.
+func NewTrace(spec TraceSpec) (*Trace, error) {
+	if spec.Nodes < 1 || spec.Chunks < 1 {
+		return nil, fmt.Errorf("sim: trace needs nodes and chunks >= 1, got %d/%d", spec.Nodes, spec.Chunks)
+	}
+	if spec.Exclude >= 0 && spec.Exclude < spec.Nodes && spec.Nodes == 1 {
+		return nil, fmt.Errorf("sim: trace excludes the only node")
+	}
+	if spec.ZipfS == 0 {
+		spec.ZipfS = 0.8
+	}
+	if spec.NodeSkew == 0 {
+		spec.NodeSkew = 0.5
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	t := &Trace{
+		spec:      spec,
+		rng:       rng,
+		chunkCDF:  zipfCDF(spec.Chunks, spec.ZipfS),
+		chunkPerm: rng.Perm(spec.Chunks),
+	}
+	nodes := make([]int, 0, spec.Nodes)
+	for v := 0; v < spec.Nodes; v++ {
+		if v != spec.Exclude {
+			nodes = append(nodes, v)
+		}
+	}
+	rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	t.nodePerm = nodes
+	skew := spec.NodeSkew
+	if skew < 0 {
+		skew = 0
+	}
+	t.nodeCDF = zipfCDF(len(nodes), skew)
+	return t, nil
+}
+
+// zipfCDF returns the cumulative Zipf(s) distribution over n ranks,
+// normalized so the last entry is exactly 1.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += math.Pow(float64(r+1), -s)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	cdf[n-1] = 1
+	return cdf
+}
+
+// sample draws one rank from a cumulative distribution.
+func sample(rng *rand.Rand, cdf []float64) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(cdf, u)
+}
+
+// Next returns the next request of the stream. The generator never ends;
+// callers bound the replay length.
+func (t *Trace) Next() Request {
+	if t.spec.DriftEvery > 0 && t.count > 0 && t.count%t.spec.DriftEvery == 0 {
+		t.shift++
+	}
+	t.count++
+	rank := (sample(t.rng, t.chunkCDF) + t.shift) % t.spec.Chunks
+	return Request{
+		Node:  t.nodePerm[sample(t.rng, t.nodeCDF)],
+		Chunk: t.chunkPerm[rank],
+	}
+}
+
+// Count returns the number of requests emitted so far.
+func (t *Trace) Count() int { return t.count }

@@ -1,0 +1,124 @@
+package sim
+
+import "testing"
+
+func TestTraceDeterministic(t *testing.T) {
+	spec := TraceSpec{Nodes: 20, Chunks: 32, Seed: 42, Exclude: 3}
+	a, err := NewTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("request %d diverged: %v vs %v", i, ra, rb)
+		}
+	}
+	if a.Count() != 10000 {
+		t.Fatalf("Count() = %d, want 10000", a.Count())
+	}
+}
+
+func TestTraceSeedChangesStream(t *testing.T) {
+	a, _ := NewTrace(TraceSpec{Nodes: 10, Chunks: 16, Seed: 1})
+	b, _ := NewTrace(TraceSpec{Nodes: 10, Chunks: 16, Seed: 2})
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestTraceRangesAndExclude(t *testing.T) {
+	tr, err := NewTrace(TraceSpec{Nodes: 12, Chunks: 8, Seed: 7, Exclude: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		r := tr.Next()
+		if r.Node < 0 || r.Node >= 12 || r.Node == 5 {
+			t.Fatalf("request %d: node %d out of range or excluded", i, r.Node)
+		}
+		if r.Chunk < 0 || r.Chunk >= 8 {
+			t.Fatalf("request %d: chunk %d out of range", i, r.Chunk)
+		}
+	}
+}
+
+func TestTraceZipfSkew(t *testing.T) {
+	tr, err := NewTrace(TraceSpec{Nodes: 10, Chunks: 50, Seed: 3, ZipfS: 1.1, NodeSkew: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 50)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[tr.Next().Chunk]++
+	}
+	max, sum := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	if sum != n {
+		t.Fatalf("counts sum %d != %d", sum, n)
+	}
+	// Under Zipf(1.1) over 50 chunks the top chunk draws ~22% of requests;
+	// uniform would be 2%. Accept anything clearly skewed.
+	if frac := float64(max) / float64(n); frac < 0.10 {
+		t.Fatalf("top chunk drew %.3f of requests, want a Zipf head >= 0.10", frac)
+	}
+}
+
+func TestTraceDriftRotatesHead(t *testing.T) {
+	spec := TraceSpec{Nodes: 5, Chunks: 10, Seed: 9, ZipfS: 1.2, DriftEvery: 5000}
+	tr, err := NewTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := func(n int) int {
+		counts := make([]int, 10)
+		for i := 0; i < n; i++ {
+			counts[tr.Next().Chunk]++
+		}
+		best := 0
+		for k, c := range counts {
+			if c > counts[best] {
+				best = k
+			}
+			_ = c
+		}
+		return best
+	}
+	first := head(5000)
+	// After many drift periods the hot rank has rotated away.
+	for i := 0; i < 4; i++ {
+		_ = head(5000)
+	}
+	last := head(5000)
+	if first == last {
+		t.Fatalf("hot chunk did not drift: %d before and after", first)
+	}
+}
+
+func TestTraceRejectsBadSpecs(t *testing.T) {
+	if _, err := NewTrace(TraceSpec{Nodes: 0, Chunks: 5}); err == nil {
+		t.Error("Nodes=0: want error")
+	}
+	if _, err := NewTrace(TraceSpec{Nodes: 5, Chunks: 0}); err == nil {
+		t.Error("Chunks=0: want error")
+	}
+	if _, err := NewTrace(TraceSpec{Nodes: 1, Chunks: 1, Exclude: 0}); err == nil {
+		t.Error("excluding the only node: want error")
+	}
+}
