@@ -307,7 +307,7 @@ func BenchmarkAblationAlphaStep(b *testing.B) {
 		b.Run(stepName(step), func(b *testing.B) {
 			var lastGini float64
 			for i := 0; i < b.N; i++ {
-				res, err := faircache.Approximate(topo, 9, 5, &faircache.Options{AlphaStep: step, GammaStep: 2.5 * step})
+				res, err := runAlg(faircache.AlgorithmApprox, topo, 9, 5, &faircache.Options{AlphaStep: step, GammaStep: 2.5 * step})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -329,7 +329,7 @@ func BenchmarkAblationSpanQuorum(b *testing.B) {
 		b.Run(quorumName(m), func(b *testing.B) {
 			var distinct int
 			for i := 0; i < b.N; i++ {
-				res, err := faircache.Approximate(topo, 9, 5, &faircache.Options{SpanQuorum: m})
+				res, err := runAlg(faircache.AlgorithmApprox, topo, 9, 5, &faircache.Options{SpanQuorum: m})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -351,7 +351,7 @@ func BenchmarkAblationFairnessWeight(b *testing.B) {
 		b.Run(weightName(w), func(b *testing.B) {
 			var gini float64
 			for i := 0; i < b.N; i++ {
-				res, err := faircache.Approximate(topo, 9, 5, &faircache.Options{FairnessWeight: w})
+				res, err := runAlg(faircache.AlgorithmApprox, topo, 9, 5, &faircache.Options{FairnessWeight: w})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -406,7 +406,7 @@ func BenchmarkAblationGreedyVsPrimalDual(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var cost, gini float64
 			for i := 0; i < b.N; i++ {
-				res, err := faircache.Approximate(topo, 9, 5, &faircache.Options{GreedyConFL: greedy})
+				res, err := runAlg(faircache.AlgorithmApprox, topo, 9, 5, &faircache.Options{GreedyConFL: greedy})
 				if err != nil {
 					b.Fatal(err)
 				}

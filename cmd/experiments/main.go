@@ -5,8 +5,12 @@
 // Usage:
 //
 //	experiments [-fig all|1|2|3|4|5|6|7|8|9|tab2|abl|part|adapt] [-quick]
+//	            [-algs appx,dist]
 //
 // -quick shrinks network sizes and search budgets for a fast smoke run.
+// -algs restricts the comparison columns to a comma-separated algorithm
+// list; names go through faircache.ParseAlgorithm, so legacy aliases
+// ("approximate", "hopcount", ...) work and columns print canonically.
 package main
 
 import (
@@ -25,12 +29,44 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: all, 1-9, tab2, abl, part, adapt")
 	quick := flag.Bool("quick", false, "use reduced sizes and budgets")
+	algs := flag.String("algs", "", "comma-separated algorithm filter (canonical names or legacy aliases, e.g. appx,dist)")
 	flag.Parse()
 
+	if err := applyAlgFilter(*algs); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 	if err := run(*fig, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// applyAlgFilter narrows eval.Algorithms to the requested set, keeping
+// the canonical presentation order and rejecting unknown names up front.
+func applyAlgFilter(spec string) error {
+	if strings.TrimSpace(spec) == "" {
+		return nil
+	}
+	want := map[faircache.Algorithm]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		alg, err := faircache.ParseAlgorithm(part)
+		if err != nil {
+			return fmt.Errorf("-algs: %w", err)
+		}
+		want[alg] = true
+	}
+	filtered := make([]faircache.Algorithm, 0, len(eval.Algorithms))
+	for _, a := range eval.Algorithms {
+		if want[a] {
+			filtered = append(filtered, a)
+		}
+	}
+	if len(filtered) == 0 {
+		return fmt.Errorf("-algs %q selects none of the comparison algorithms", spec)
+	}
+	eval.Algorithms = filtered
+	return nil
 }
 
 type config struct {
@@ -90,7 +126,7 @@ func header(title string) {
 func algColumns() []string {
 	cols := make([]string, 0, len(eval.Algorithms))
 	for _, a := range eval.Algorithms {
-		cols = append(cols, string(a))
+		cols = append(cols, a.String())
 	}
 	return cols
 }

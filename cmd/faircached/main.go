@@ -23,7 +23,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -38,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/client"
 	"repro/internal/server"
 	"repro/internal/server/loadgen"
 	"repro/internal/wal"
@@ -53,10 +53,13 @@ func main() {
 		fsync         = flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
 		snapshotEvery = flag.Int("snapshot-every", 256, "WAL records between full-state snapshots (negative disables)")
 		inspect       = flag.Bool("inspect", false, "print a redacted record listing of -data-dir and exit")
+		coalesceOn    = flag.Bool("coalesce", true, "coalesce concurrent identical solve/report requests onto shared flights")
 		load          = flag.Bool("load", false, "self-driving load mode: register a grid, run the load generator, print stats, exit")
+		loadMode      = flag.String("load-mode", "mixed", "-load workload: mixed (lookups/publishes/reports) or solve-burst (identical solves, reports coalescing hit rate)")
 		loadGrid      = flag.String("load-grid", "6x6", "grid for -load mode, ROWSxCOLS")
 		loadRequests  = flag.Int("load-requests", 500, "total operations in -load mode")
 		loadWorkers   = flag.Int("load-workers", 4, "concurrent clients in -load mode")
+		loadChunks    = flag.Int("load-chunks", 20, "chunks per identical solve in solve-burst mode (heavier solves widen the coalescing window)")
 	)
 	flag.Parse()
 
@@ -68,19 +71,30 @@ func main() {
 		return
 	}
 	opts := server.Options{
-		SolveTimeout:  *solveTimeout,
-		MaxNodes:      *maxNodes,
-		DataDir:       *dataDir,
-		Fsync:         *fsync,
-		SnapshotEvery: *snapshotEvery,
+		SolveTimeout:      *solveTimeout,
+		MaxNodes:          *maxNodes,
+		DataDir:           *dataDir,
+		Fsync:             *fsync,
+		SnapshotEvery:     *snapshotEvery,
+		DisableCoalescing: !*coalesceOn,
 	}
-	if err := run(*addr, opts, *drainTimeout, *load, *loadGrid, *loadRequests, *loadWorkers); err != nil {
+	lc := loadConfig{mode: *loadMode, grid: *loadGrid, requests: *loadRequests, workers: *loadWorkers, chunks: *loadChunks}
+	if err := run(*addr, opts, *drainTimeout, *load, lc); err != nil {
 		fmt.Fprintln(os.Stderr, "faircached:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, opts server.Options, drainTimeout time.Duration, load bool, loadGrid string, loadRequests, loadWorkers int) error {
+// loadConfig carries the -load* flags into the self-driving load modes.
+type loadConfig struct {
+	mode     string
+	grid     string
+	requests int
+	workers  int
+	chunks   int
+}
+
+func run(addr string, opts server.Options, drainTimeout time.Duration, load bool, lc loadConfig) error {
 	svc, err := server.New(opts)
 	if err != nil {
 		return err
@@ -105,7 +119,7 @@ func run(addr string, opts server.Options, drainTimeout time.Duration, load bool
 
 	var loadErr error
 	if load {
-		loadErr = runLoad(ctx, "http://"+ln.Addr().String(), loadGrid, loadRequests, loadWorkers)
+		loadErr = runLoad(ctx, "http://"+ln.Addr().String(), lc)
 		stop() // load run finished (or failed): begin shutdown
 	}
 
@@ -193,39 +207,56 @@ func describePayload(kind string, payload []byte) string {
 }
 
 // runLoad self-drives the daemon: register a grid topology against the
-// live socket, run the load generator, and print throughput plus the
-// service counters the run produced.
-func runLoad(ctx context.Context, baseURL, grid string, requests, workers int) error {
-	rows, cols, err := parseGrid(grid)
+// live socket via the typed client, run the selected load-generator
+// workload, and print its stats.
+func runLoad(ctx context.Context, baseURL string, lc loadConfig) error {
+	rows, cols, err := parseGrid(lc.grid)
 	if err != nil {
 		return err
 	}
-	body, _ := json.Marshal(server.RegisterRequest{Kind: "grid", Rows: rows, Cols: cols})
-	resp, err := http.Post(baseURL+"/v1/topologies", "application/json", bytes.NewReader(body))
+	cl := client.New(baseURL)
+	reg, err := cl.Register(ctx, &server.RegisterRequest{Kind: "grid", Rows: rows, Cols: cols})
 	if err != nil {
 		return fmt.Errorf("load register: %w", err)
 	}
-	defer resp.Body.Close()
-	var reg server.RegisterResponse
-	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil || reg.ID == "" {
-		return fmt.Errorf("load register: status %d (%v)", resp.StatusCode, err)
+	switch lc.mode {
+	case "mixed":
+		fmt.Printf("faircached: load mode: %d ops over %dx%d grid %s with %d workers\n",
+			lc.requests, rows, cols, reg.ID, lc.workers)
+		stats, err := loadgen.Run(ctx, loadgen.Config{
+			BaseURL:    baseURL,
+			TopologyID: reg.ID,
+			Requests:   lc.requests,
+			Workers:    lc.workers,
+		})
+		if err != nil {
+			return fmt.Errorf("load run: %w", err)
+		}
+		fmt.Printf("faircached: load done: %d ops in %v (%.0f ops/s) — %d lookups, %d publishes, %d reports, %d errors\n",
+			stats.Total(), stats.Elapsed.Round(time.Millisecond), stats.Throughput(),
+			stats.Lookups, stats.Publishes, stats.Reports, stats.Errors)
+		return nil
+	case "solve-burst":
+		fmt.Printf("faircached: solve-burst load mode: %d identical solves over %dx%d grid %s with %d workers\n",
+			lc.requests, rows, cols, reg.ID, lc.workers)
+		stats, err := loadgen.RunSolveBurst(ctx, loadgen.SolveBurstConfig{
+			BaseURL:    baseURL,
+			TopologyID: reg.ID,
+			Requests:   lc.requests,
+			Workers:    lc.workers,
+			Chunks:     lc.chunks,
+		})
+		if err != nil {
+			return fmt.Errorf("load run: %w", err)
+		}
+		fmt.Printf("faircached: burst done: %d requests in %v (%.0f req/s) — %d underlying solves, %d coalesced (hit rate %.1f%%), p50 %v, p99 %v, %d errors\n",
+			stats.Requests, stats.Elapsed.Round(time.Millisecond), stats.Throughput(),
+			stats.Solves, stats.Coalesced, 100*stats.HitRate(),
+			stats.P50.Round(10*time.Microsecond), stats.P99.Round(10*time.Microsecond), stats.Errors)
+		return nil
+	default:
+		return fmt.Errorf("unknown -load-mode %q (want mixed or solve-burst)", lc.mode)
 	}
-	fmt.Printf("faircached: load mode: %d ops over %dx%d grid %s with %d workers\n",
-		requests, rows, cols, reg.ID, workers)
-
-	stats, err := loadgen.Run(ctx, loadgen.Config{
-		BaseURL:    baseURL,
-		TopologyID: reg.ID,
-		Requests:   requests,
-		Workers:    workers,
-	})
-	if err != nil {
-		return fmt.Errorf("load run: %w", err)
-	}
-	fmt.Printf("faircached: load done: %d ops in %v (%.0f ops/s) — %d lookups, %d publishes, %d reports, %d errors\n",
-		stats.Total(), stats.Elapsed.Round(time.Millisecond), stats.Throughput(),
-		stats.Lookups, stats.Publishes, stats.Reports, stats.Errors)
-	return nil
 }
 
 func parseGrid(spec string) (rows, cols int, err error) {

@@ -2,19 +2,18 @@ package main
 
 import (
 	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
-	"fmt"
-	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/client"
 	"repro/internal/server"
 	"repro/internal/server/loadgen"
 )
@@ -61,68 +60,57 @@ func startDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, *bufio.Sc
 	return nil, nil, ""
 }
 
-// TestEndToEnd starts the daemon, serves /healthz, registers a 4x4 grid,
-// solves it, answers a lookup, and shuts down gracefully on SIGINT.
+// TestEndToEnd starts the daemon and drives it through the typed client:
+// /healthz, register a 4x4 grid, solve it over the v1 nested-options
+// schema, answer a lookup, scrape /metrics, and shut down gracefully on
+// SIGINT.
 func TestEndToEnd(t *testing.T) {
 	bin := buildDaemon(t)
 	cmd, scanner, baseURL := startDaemon(t, bin)
 	defer func() { _ = cmd.Process.Kill() }()
-	client := &http.Client{Timeout: 5 * time.Second}
+	ctx := context.Background()
+	cl := client.New(baseURL)
 
 	// Health.
-	resp, err := client.Get(baseURL + "/healthz")
-	if err != nil {
-		t.Fatalf("healthz: %v", err)
+	health, err := cl.Healthz(ctx)
+	if err != nil || health.Status != "ok" {
+		t.Fatalf("healthz: %+v err %v", health, err)
 	}
-	var health struct {
-		Status string `json:"status"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil || health.Status != "ok" {
-		t.Fatalf("healthz: status %q err %v", health.Status, err)
-	}
-	resp.Body.Close()
 
 	// Register a 4x4 grid.
 	producer := 5
-	body, _ := json.Marshal(server.RegisterRequest{Kind: "grid", Rows: 4, Cols: 4, Producer: &producer})
-	resp, err = client.Post(baseURL+"/v1/topologies", "application/json", bytes.NewReader(body))
+	reg, err := cl.Register(ctx, &server.RegisterRequest{Kind: "grid", Rows: 4, Cols: 4, Producer: &producer})
 	if err != nil {
 		t.Fatalf("register: %v", err)
 	}
-	var reg server.RegisterResponse
-	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
-		t.Fatalf("register decode: %v", err)
-	}
-	resp.Body.Close()
 	if reg.Nodes != 16 || reg.ID == "" {
 		t.Fatalf("register response %+v", reg)
 	}
 
-	// Solve it.
-	body, _ = json.Marshal(server.SolveRequest{Algorithm: "appx", Chunks: 3})
-	resp, err = client.Post(baseURL+"/v1/topologies/"+reg.ID+"/solve", "application/json", bytes.NewReader(body))
+	// Solve it: a legacy alias in the canonical nested options must echo
+	// the canonical name with no deprecation notes.
+	solve, err := cl.Solve(ctx, reg.ID, &server.SolveRequest{
+		Chunks:  3,
+		Options: &server.SolveOptions{Algorithm: "approximate"},
+	})
 	if err != nil {
 		t.Fatalf("solve: %v", err)
 	}
-	var solve server.SolveResponse
-	if err := json.NewDecoder(resp.Body).Decode(&solve); err != nil {
-		t.Fatalf("solve decode: %v", err)
-	}
-	resp.Body.Close()
 	if len(solve.Holders) != 3 || solve.TotalCost <= 0 {
 		t.Fatalf("solve response %+v", solve)
 	}
+	if solve.Algorithm != "Appx" {
+		t.Errorf("solve echoed algorithm %q, want canonical Appx", solve.Algorithm)
+	}
+	if len(solve.Deprecated) != 0 {
+		t.Errorf("nested options flagged as deprecated: %v", solve.Deprecated)
+	}
 
 	// Answer a lookup from the committed placement.
-	resp, err = client.Get(fmt.Sprintf("%s/v1/topologies/%s/lookup?chunk=1&node=15", baseURL, reg.ID))
+	lk, err := cl.Lookup(ctx, reg.ID, 1, 15)
 	if err != nil {
 		t.Fatalf("lookup: %v", err)
 	}
-	var lk server.LookupResponse
-	if err := json.NewDecoder(resp.Body).Decode(&lk); err != nil {
-		t.Fatalf("lookup decode: %v", err)
-	}
-	resp.Body.Close()
 	if lk.ServedBy < 0 || lk.ServedBy >= 16 || lk.Hops < 0 {
 		t.Fatalf("lookup response %+v", lk)
 	}
@@ -135,6 +123,26 @@ func TestEndToEnd(t *testing.T) {
 		}
 		if !found {
 			t.Fatalf("lookup served by %d, not in holders %v", lk.ServedBy, solve.Holders[1])
+		}
+	}
+
+	// A typed error decodes from the envelope.
+	if _, err := cl.Lookup(ctx, reg.ID, 99, 0); !client.IsNotFound(err) {
+		t.Errorf("lookup of unknown chunk: err %v, want not_found APIError", err)
+	}
+
+	// The Prometheus endpoint serves the counters this test just moved.
+	metricsText, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{
+		`faircached_requests_total{endpoint="solve"} 1`,
+		"faircached_solve_duration_seconds_count 1",
+		"# TYPE faircached_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Errorf("metrics output missing %q", want)
 		}
 	}
 
@@ -173,6 +181,35 @@ func TestLoadMode(t *testing.T) {
 	}
 }
 
+// TestSolveBurstLoadMode runs the identical-solve burst end to end and
+// asserts the coalescing acceptance bar: the burst's requests collapse
+// onto at least 5x fewer underlying solves, so the reported hit rate is
+// positive.
+func TestSolveBurstLoadMode(t *testing.T) {
+	bin := buildDaemon(t)
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-load", "-load-mode", "solve-burst",
+		"-load-grid", "10x10", "-load-requests", "200", "-load-workers", "16", "-load-chunks", "20")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("solve-burst mode: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"solve-burst load mode:", "burst done:", "hit rate", "shutdown complete"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("solve-burst output missing %q:\n%s", want, text)
+		}
+	}
+	m := regexp.MustCompile(`burst done: (\d+) requests in .* — (\d+) underlying solves`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("cannot parse burst summary:\n%s", text)
+	}
+	requests, _ := strconv.Atoi(m[1])
+	solves, _ := strconv.Atoi(m[2])
+	if solves == 0 || requests/solves < 5 {
+		t.Errorf("burst ran %d underlying solves for %d requests, want >= 5x coalescing:\n%s", solves, requests, text)
+	}
+}
+
 // TestCrashRecovery is the durability end-to-end test: a daemon with
 // -data-dir takes a register, a solve and 20+ publications (the last
 // stretch from the concurrent load generator), dies on SIGKILL
@@ -186,35 +223,28 @@ func TestCrashRecovery(t *testing.T) {
 	dataDir := t.TempDir()
 	cmd, _, baseURL := startDaemon(t, bin, "-data-dir", dataDir, "-fsync", "always")
 	defer func() { _ = cmd.Process.Kill() }()
-	client := &http.Client{Timeout: 5 * time.Second}
+	ctx := context.Background()
+	cl := client.New(baseURL)
 
 	producer := 5
-	body, _ := json.Marshal(server.RegisterRequest{Kind: "grid", Rows: 4, Cols: 4, Producer: &producer})
-	resp, err := client.Post(baseURL+"/v1/topologies", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatalf("register: %v", err)
-	}
-	var reg server.RegisterResponse
-	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil || reg.ID == "" {
+	reg, err := cl.Register(ctx, &server.RegisterRequest{Kind: "grid", Rows: 4, Cols: 4, Producer: &producer})
+	if err != nil || reg.ID == "" {
 		t.Fatalf("register: %+v err %v", reg, err)
 	}
-	resp.Body.Close()
 
-	body, _ = json.Marshal(server.SolveRequest{Algorithm: "appx", Chunks: 3})
-	resp, err = client.Post(baseURL+"/v1/topologies/"+reg.ID+"/solve", "application/json", bytes.NewReader(body))
-	if err != nil || resp.StatusCode != http.StatusOK {
-		t.Fatalf("solve: %v (status %v)", err, resp.Status)
+	if _, err := cl.Solve(ctx, reg.ID, &server.SolveRequest{
+		Chunks:  3,
+		Options: &server.SolveOptions{Algorithm: "appx"},
+	}); err != nil {
+		t.Fatalf("solve: %v", err)
 	}
-	resp.Body.Close()
 
 	// 20 acknowledged publications, then the load generator keeps the
 	// mutation stream hot so SIGKILL lands mid-traffic.
 	for i := 0; i < 20; i++ {
-		resp, err = client.Post(baseURL+"/v1/topologies/"+reg.ID+"/publish", "application/json", nil)
-		if err != nil || resp.StatusCode != http.StatusOK {
-			t.Fatalf("publish %d: %v (status %v)", i, err, resp.Status)
+		if _, err := cl.Publish(ctx, reg.ID, 1); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
 		}
-		resp.Body.Close()
 	}
 	loadDone := make(chan struct{})
 	go func() {
@@ -252,31 +282,22 @@ func TestCrashRecovery(t *testing.T) {
 
 	cmd2, scanner2, baseURL2 := startDaemon(t, bin, "-data-dir", dataDir, "-fsync", "always")
 	defer func() { _ = cmd2.Process.Kill() }()
+	cl2 := client.New(baseURL2)
 
-	var rep server.ReportResponse
-	resp, err = client.Get(baseURL2 + "/v1/topologies/" + reg.ID + "/report")
+	rep, err := cl2.Report(ctx, reg.ID)
 	if err != nil {
 		t.Fatalf("recovered report: %v", err)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
-		t.Fatalf("recovered report decode: %v", err)
-	}
-	resp.Body.Close()
 	if !reflect.DeepEqual(rep.Snapshot, want.Snap) {
 		t.Errorf("recovered snapshot diverges from the WAL:\n wal    %+v\n server %+v", want.Snap, rep.Snapshot)
 	}
 
 	// Lookups answer from the recovered holder sets.
 	for chunk := 0; chunk < 3; chunk++ {
-		resp, err = client.Get(fmt.Sprintf("%s/v1/topologies/%s/lookup?chunk=%d&node=0", baseURL2, reg.ID, chunk))
-		if err != nil || resp.StatusCode != http.StatusOK {
-			t.Fatalf("recovered lookup chunk %d: %v (status %v)", chunk, err, resp.Status)
+		lk, err := cl2.Lookup(ctx, reg.ID, chunk, 0)
+		if err != nil {
+			t.Fatalf("recovered lookup chunk %d: %v", chunk, err)
 		}
-		var lk server.LookupResponse
-		if err := json.NewDecoder(resp.Body).Decode(&lk); err != nil {
-			t.Fatalf("recovered lookup decode: %v", err)
-		}
-		resp.Body.Close()
 		if lk.Version != want.Snap.Version {
 			t.Errorf("lookup chunk %d answered from v%d, want v%d", chunk, lk.Version, want.Snap.Version)
 		}
@@ -295,15 +316,10 @@ func TestCrashRecovery(t *testing.T) {
 	}
 
 	// The clock keeps counting where the log left off.
-	resp, err = client.Post(baseURL2+"/v1/topologies/"+reg.ID+"/publish", "application/json", nil)
-	if err != nil || resp.StatusCode != http.StatusOK {
-		t.Fatalf("post-recovery publish: %v (status %v)", err, resp.Status)
+	pub, err := cl2.Publish(ctx, reg.ID, 1)
+	if err != nil {
+		t.Fatalf("post-recovery publish: %v", err)
 	}
-	var pub server.PublishResponse
-	if err := json.NewDecoder(resp.Body).Decode(&pub); err != nil {
-		t.Fatalf("post-recovery publish decode: %v", err)
-	}
-	resp.Body.Close()
 	if pub.Clock != want.Snap.Clock+1 || pub.Version != want.Snap.Version+1 {
 		t.Errorf("post-recovery publish v%d clock %d, want v%d clock %d",
 			pub.Version, pub.Clock, want.Snap.Version+1, want.Snap.Clock+1)
@@ -326,21 +342,16 @@ func TestInspectMode(t *testing.T) {
 	dataDir := t.TempDir()
 	cmd, scanner, baseURL := startDaemon(t, bin, "-data-dir", dataDir)
 	defer func() { _ = cmd.Process.Kill() }()
-	client := &http.Client{Timeout: 5 * time.Second}
+	ctx := context.Background()
+	cl := client.New(baseURL)
 
-	body, _ := json.Marshal(server.RegisterRequest{Kind: "grid", Rows: 3, Cols: 3})
-	resp, err := client.Post(baseURL+"/v1/topologies", "application/json", bytes.NewReader(body))
+	reg, err := cl.Register(ctx, &server.RegisterRequest{Kind: "grid", Rows: 3, Cols: 3})
 	if err != nil {
 		t.Fatalf("register: %v", err)
 	}
-	var reg server.RegisterResponse
-	_ = json.NewDecoder(resp.Body).Decode(&reg)
-	resp.Body.Close()
-	resp, err = client.Post(baseURL+"/v1/topologies/"+reg.ID+"/publish", "application/json", nil)
-	if err != nil {
+	if _, err := cl.Publish(ctx, reg.ID, 1); err != nil {
 		t.Fatalf("publish: %v", err)
 	}
-	resp.Body.Close()
 	_ = cmd.Process.Signal(os.Interrupt)
 	for scanner.Scan() {
 	}

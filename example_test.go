@@ -33,14 +33,28 @@ func ExampleSolver_Solve() {
 	// load is fair (gini < 0.4): true
 }
 
-// ExampleApproximate places the paper's 6×6-grid scenario and reports the
-// headline fairness metrics.
-func ExampleApproximate() {
+// ExampleParseAlgorithm resolves legacy spellings onto the canonical
+// algorithm names and runs the selection through the Solver API — the
+// pattern a service dispatching on request strings uses.
+func ExampleParseAlgorithm() {
+	alg, err := faircache.ParseAlgorithm("approximate") // legacy alias
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("canonical name: %s\n", alg)
 	topo, err := faircache.Grid(6, 6)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := faircache.Approximate(topo, 9, 5, nil)
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background(), faircache.Request{
+		Producer:  9,
+		Chunks:    5,
+		Algorithm: alg,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,19 +62,28 @@ func ExampleApproximate() {
 	fmt.Printf("producer cached anything: %v\n", res.Counts[9] > 0)
 	fmt.Printf("load is fair (gini < 0.4): %v\n", res.Gini() < 0.4)
 	// Output:
+	// canonical name: Appx
 	// chunks placed: 5
 	// producer cached anything: false
 	// load is fair (gini < 0.4): true
 }
 
-// ExampleDistribute runs the distributed protocol and checks the message
-// complexity bound of Sec. IV-D.
-func ExampleDistribute() {
+// ExampleSolver_Solve_distributed runs the distributed protocol and
+// checks the message complexity bound of Sec. IV-D.
+func ExampleSolver_Solve_distributed() {
 	topo, err := faircache.Grid(6, 6)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := faircache.Distribute(topo, 9, 5, nil)
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background(), faircache.Request{
+		Producer:  9,
+		Chunks:    5,
+		Algorithm: faircache.AlgorithmDistributed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,11 +106,19 @@ func ExampleResult_ContentionCost() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fair, err := faircache.Approximate(topo, 9, 5, nil)
+	solver, err := faircache.NewSolver(topo)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hop, err := faircache.HopCountBaseline(topo, 9, 5, nil)
+	fair, err := solver.Solve(context.Background(), faircache.Request{
+		Producer: 9, Chunks: 5, Algorithm: faircache.AlgorithmApprox,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hop, err := solver.Solve(context.Background(), faircache.Request{
+		Producer: 9, Chunks: 5, Algorithm: faircache.AlgorithmHopCount,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

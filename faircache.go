@@ -31,10 +31,10 @@
 package faircache
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/cache"
@@ -245,6 +245,9 @@ type Options struct {
 }
 
 // Algorithm identifies a placement algorithm in results and reports.
+// The canonical names are the paper's figure labels ("Appx", "Dist",
+// "Hopc", "Cont", "Brtf"); ParseAlgorithm accepts those plus the legacy
+// long-form aliases.
 type Algorithm string
 
 // The five algorithms of the paper's evaluation.
@@ -255,6 +258,32 @@ const (
 	AlgorithmContention  Algorithm = "Cont"
 	AlgorithmOptimal     Algorithm = "Brtf"
 )
+
+// String returns the canonical name, e.g. "Appx".
+func (a Algorithm) String() string { return string(a) }
+
+// ParseAlgorithm resolves a case-insensitive algorithm name onto its
+// canonical Algorithm. Besides the canonical names it accepts the legacy
+// aliases that predate the enum — "approximate", "distribute[d]",
+// "hopcount", "contention", "optimal"/"exact" — and the empty string,
+// which selects the paper's primary algorithm (Appx). Unknown names
+// return an error wrapping ErrBadArgument.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "appx", "approximate", "":
+		return AlgorithmApprox, nil
+	case "dist", "distribute", "distributed":
+		return AlgorithmDistributed, nil
+	case "hopc", "hopcount":
+		return AlgorithmHopCount, nil
+	case "cont", "contention":
+		return AlgorithmContention, nil
+	case "brtf", "optimal", "exact":
+		return AlgorithmOptimal, nil
+	default:
+		return "", fmt.Errorf("%w: unknown algorithm %q (want Appx, Dist, Hopc, Cont or Brtf)", ErrBadArgument, s)
+	}
+}
 
 // Result is the outcome of a placement run.
 type Result struct {
@@ -324,66 +353,6 @@ func (o *Options) withDefaults() Options {
 	out.ChunkStarted = o.ChunkStarted
 	out.Partition = o.Partition
 	return out
-}
-
-// legacySolve adapts the deprecated positional-argument entry points onto
-// the Solver API with a background context.
-func legacySolve(t *Topology, producer, chunks int, alg Algorithm, opts *Options) (*Result, error) {
-	s, err := NewSolver(t)
-	if err != nil {
-		return nil, err
-	}
-	return s.Solve(context.Background(), Request{
-		Producer:  producer,
-		Chunks:    chunks,
-		Algorithm: alg,
-		Options:   opts,
-	})
-}
-
-// Approximate runs the paper's centralized approximation algorithm
-// (Algorithm 1), placing chunk ids 0..chunks-1.
-//
-// Deprecated: use NewSolver and [Solver.Solve] with AlgorithmApprox — the
-// Solver API takes a context (cancellation, deadlines) and reuses
-// topology-dependent state across solves. This wrapper is equivalent to a
-// Solve with context.Background().
-func Approximate(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
-	return legacySolve(t, producer, chunks, AlgorithmApprox, opts)
-}
-
-// Distribute runs the paper's distributed protocol (Algorithm 2) on a
-// deterministic message-round simulator.
-//
-// Deprecated: use NewSolver and [Solver.Solve] with AlgorithmDistributed.
-func Distribute(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
-	return legacySolve(t, producer, chunks, AlgorithmDistributed, opts)
-}
-
-// HopCountBaseline runs the hop-count greedy baseline of Nuggehalli et
-// al. [13] with the paper's multi-item extension.
-//
-// Deprecated: use NewSolver and [Solver.Solve] with AlgorithmHopCount.
-func HopCountBaseline(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
-	return legacySolve(t, producer, chunks, AlgorithmHopCount, opts)
-}
-
-// ContentionBaseline runs the contention-aware greedy baseline of Sung et
-// al. [4] with the paper's multi-item extension.
-//
-// Deprecated: use NewSolver and [Solver.Solve] with AlgorithmContention.
-func ContentionBaseline(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
-	return legacySolve(t, producer, chunks, AlgorithmContention, opts)
-}
-
-// Optimal runs the exact per-chunk branch-and-bound solver — the paper's
-// brute-force reference. Practical only on small networks; set
-// Options.SearchBudget to bound the search (the result then reports
-// ProvenOptimal = false when the budget was hit).
-//
-// Deprecated: use NewSolver and [Solver.Solve] with AlgorithmOptimal.
-func Optimal(t *Topology, producer, chunks int, opts *Options) (*Result, error) {
-	return legacySolve(t, producer, chunks, AlgorithmOptimal, opts)
 }
 
 // newState builds the initial cache state for a run, applying battery

@@ -1,12 +1,29 @@
 package faircache
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
 
 	"repro/internal/graph"
 )
+
+// runAlgT is the in-package twin of the external runAlg helper: one
+// positional solve through the Solver API, standing in for the removed
+// deprecated wrappers.
+func runAlgT(alg Algorithm, t *Topology, producer, chunks int, opts *Options) (*Result, error) {
+	s, err := NewSolver(t)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(context.Background(), Request{
+		Producer:  producer,
+		Chunks:    chunks,
+		Algorithm: alg,
+		Options:   opts,
+	})
+}
 
 func TestGridValidation(t *testing.T) {
 	if _, err := Grid(0, 5); !errors.Is(err, ErrBadArgument) {
@@ -98,7 +115,7 @@ func TestApproximateOnPaperScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Approximate(topo, 9, 5, nil)
+	res, err := runAlgT(AlgorithmApprox, topo, 9, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +167,7 @@ func TestDistributeProducesMessagesAndFairness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Distribute(topo, 9, 5, nil)
+	res, err := runAlgT(AlgorithmDistributed, topo, 9, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,15 +184,15 @@ func TestBaselinesAreUnfair(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hop, err := HopCountBaseline(topo, 9, 5, nil)
+	hop, err := runAlgT(AlgorithmHopCount, topo, 9, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cont, err := ContentionBaseline(topo, 9, 5, nil)
+	cont, err := runAlgT(AlgorithmContention, topo, 9, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	appx, err := Approximate(topo, 9, 5, nil)
+	appx, err := runAlgT(AlgorithmApprox, topo, 9, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,14 +220,14 @@ func TestOptimalOnSmallGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Optimal(topo, 4, 2, nil)
+	res, err := runAlgT(AlgorithmOptimal, topo, 4, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.ProvenOptimal {
 		t.Error("3x3 search should complete exhaustively")
 	}
-	appx, err := Approximate(topo, 4, 2, nil)
+	appx, err := runAlgT(AlgorithmApprox, topo, 4, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +255,7 @@ func TestOptimalSearchBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Optimal(topo, 5, 1, &Options{SearchBudget: 5})
+	res, err := runAlgT(AlgorithmOptimal, topo, 5, 1, &Options{SearchBudget: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +270,7 @@ func TestOptionsDefaultsAndOverrides(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Capacity 1 with 3 chunks must still respect capacity everywhere.
-	res, err := Approximate(topo, 0, 3, &Options{Capacity: 1})
+	res, err := runAlgT(AlgorithmApprox, topo, 0, 3, &Options{Capacity: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,15 +280,15 @@ func TestOptionsDefaultsAndOverrides(t *testing.T) {
 		}
 	}
 	// Negative fairness weight = ablation (contention only); still runs.
-	if _, err := Approximate(topo, 0, 2, &Options{FairnessWeight: -1}); err != nil {
+	if _, err := runAlgT(AlgorithmApprox, topo, 0, 2, &Options{FairnessWeight: -1}); err != nil {
 		t.Errorf("zero-fairness ablation: %v", err)
 	}
 	// Distributed 1-hop override.
-	if _, err := Distribute(topo, 0, 1, &Options{HopLimit: 1}); err != nil {
+	if _, err := runAlgT(AlgorithmDistributed, topo, 0, 1, &Options{HopLimit: 1}); err != nil {
 		t.Errorf("1-hop distribute: %v", err)
 	}
 	// Baseline with explicit lambda.
-	if _, err := HopCountBaseline(topo, 0, 2, &Options{Lambda: 4}); err != nil {
+	if _, err := runAlgT(AlgorithmHopCount, topo, 0, 2, &Options{Lambda: 4}); err != nil {
 		t.Errorf("explicit lambda: %v", err)
 	}
 }
@@ -281,16 +298,16 @@ func TestPlacementErrorsSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Approximate(topo, -1, 1, nil); err == nil {
+	if _, err := runAlgT(AlgorithmApprox, topo, -1, 1, nil); err == nil {
 		t.Error("bad producer: want error")
 	}
-	if _, err := Distribute(topo, 0, 0, nil); err == nil {
+	if _, err := runAlgT(AlgorithmDistributed, topo, 0, 0, nil); err == nil {
 		t.Error("zero chunks: want error")
 	}
-	if _, err := HopCountBaseline(topo, 99, 1, nil); err == nil {
+	if _, err := runAlgT(AlgorithmHopCount, topo, 99, 1, nil); err == nil {
 		t.Error("bad producer baseline: want error")
 	}
-	if _, err := Optimal(topo, 99, 1, nil); err == nil {
+	if _, err := runAlgT(AlgorithmOptimal, topo, 99, 1, nil); err == nil {
 		t.Error("bad producer optimal: want error")
 	}
 }
@@ -314,8 +331,8 @@ func TestBatteryFairnessExtension(t *testing.T) {
 		name string
 		fn   func() (*Result, error)
 	}{
-		{"approximate", func() (*Result, error) { return Approximate(topo, 9, 5, opts) }},
-		{"distribute", func() (*Result, error) { return Distribute(topo, 9, 5, opts) }},
+		{"approximate", func() (*Result, error) { return runAlgT(AlgorithmApprox, topo, 9, 5, opts) }},
+		{"distribute", func() (*Result, error) { return runAlgT(AlgorithmDistributed, topo, 9, 5, opts) }},
 	} {
 		res, err := run.fn()
 		if err != nil {
@@ -348,7 +365,7 @@ func TestBatteryWeightZeroIgnoresLevels(t *testing.T) {
 		levels[i] = 0.01
 	}
 	// Weight 0: drained batteries must not prevent caching.
-	res, err := Approximate(topo, 5, 3, &Options{BatteryLevels: levels})
+	res, err := runAlgT(AlgorithmApprox, topo, 5, 3, &Options{BatteryLevels: levels})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +386,7 @@ func TestHeterogeneousCapacities(t *testing.T) {
 			caps[i] = 4
 		}
 	}
-	res, err := Approximate(topo, 5, 4, &Options{Capacities: caps})
+	res, err := runAlgT(AlgorithmApprox, topo, 5, 4, &Options{Capacities: caps})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,11 +412,11 @@ func TestAccessDelayEstimate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	appx, err := Approximate(topo, 9, 5, nil)
+	appx, err := runAlgT(AlgorithmApprox, topo, 9, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hop, err := HopCountBaseline(topo, 9, 5, nil)
+	hop, err := runAlgT(AlgorithmHopCount, topo, 9, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -470,7 +487,7 @@ func TestGreedyConFLAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Approximate(topo, 9, 5, &Options{GreedyConFL: true})
+	res, err := runAlgT(AlgorithmApprox, topo, 9, 5, &Options{GreedyConFL: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,21 +521,21 @@ func TestLineRingClusteredTopologies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Approximate(line, 0, 3, nil); err != nil {
+	if _, err := runAlgT(AlgorithmApprox, line, 0, 3, nil); err != nil {
 		t.Errorf("approximate on line: %v", err)
 	}
 	ring, err := Ring(12)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Distribute(ring, 0, 2, nil); err != nil {
+	if _, err := runAlgT(AlgorithmDistributed, ring, 0, 2, nil); err != nil {
 		t.Errorf("distribute on ring: %v", err)
 	}
 	crowd, err := Clustered(3, 8, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Approximate(crowd, crowd.CentralNode(), 4, nil)
+	res, err := runAlgT(AlgorithmApprox, crowd, crowd.CentralNode(), 4, nil)
 	if err != nil {
 		t.Fatalf("approximate on clustered: %v", err)
 	}
@@ -532,11 +549,11 @@ func TestImproveSteinerOptionNeverWorsensDecisionCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := Approximate(topo, 9, 5, nil)
+	plain, err := runAlgT(AlgorithmApprox, topo, 9, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	improved, err := Approximate(topo, 9, 5, &Options{ImproveSteiner: true})
+	improved, err := runAlgT(AlgorithmApprox, topo, 9, 5, &Options{ImproveSteiner: true})
 	if err != nil {
 		t.Fatal(err)
 	}

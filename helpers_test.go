@@ -1,0 +1,24 @@
+package faircache_test
+
+import (
+	"context"
+
+	faircache "repro"
+)
+
+// runAlg runs one positional solve through the Solver API — the shim the
+// removed deprecated wrappers (Approximate, Distribute, ...) used to
+// provide. Tests keep their terse call shape; the library keeps a single
+// public entry point.
+func runAlg(alg faircache.Algorithm, t *faircache.Topology, producer, chunks int, opts *faircache.Options) (*faircache.Result, error) {
+	s, err := faircache.NewSolver(t)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(context.Background(), faircache.Request{
+		Producer:  producer,
+		Chunks:    chunks,
+		Algorithm: alg,
+		Options:   opts,
+	})
+}

@@ -1,0 +1,155 @@
+// Package coalesce implements singleflight-style request coalescing for
+// the faircached serving layer: concurrent calls that present the same
+// canonical key share one underlying computation (one "flight") instead
+// of executing it N times.
+//
+// Unlike the classic singleflight, flights here are context-aware in
+// both directions:
+//
+//   - A caller whose context is cancelled DETACHES from the flight and
+//     returns its own context error; the flight keeps running for the
+//     remaining callers. Cancellation of one client must never abort
+//     work another client is waiting on.
+//   - When the LAST caller detaches, the flight's own context is
+//     cancelled, so the underlying computation (a cancellable solve)
+//     stops instead of burning a worker for a result nobody wants.
+//
+// The function itself always runs on a dedicated goroutine with a
+// context derived from the first caller's context values but not its
+// cancellation, so a leader hanging up is indistinguishable from a
+// follower hanging up.
+package coalesce
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats are a Group's cumulative dedup counters, all monotonic.
+type Stats struct {
+	// Flights counts underlying executions (coalescing "misses").
+	Flights uint64 `json:"flights"`
+	// Hits counts callers that attached to an already-running flight
+	// instead of starting their own.
+	Hits uint64 `json:"hits"`
+	// Detached counts callers that gave up (context done) while their
+	// flight was still running.
+	Detached uint64 `json:"detached"`
+	// Aborted counts flights cancelled because every caller detached.
+	Aborted uint64 `json:"aborted"`
+}
+
+// flight is one in-progress shared computation.
+type flight struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+	val    any
+	err    error
+	// callers is the number of attached waiters; guarded by the Group
+	// mutex. When it reaches zero before done, the flight is cancelled.
+	callers int
+}
+
+// Group coalesces calls by key. The zero value is ready to use. A Group
+// is safe for concurrent use.
+type Group struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	nflights atomic.Uint64
+	hits     atomic.Uint64
+	detached atomic.Uint64
+	aborted  atomic.Uint64
+}
+
+// Stats returns the group's cumulative counters.
+func (g *Group) Stats() Stats {
+	return Stats{
+		Flights:  g.nflights.Load(),
+		Hits:     g.hits.Load(),
+		Detached: g.detached.Load(),
+		Aborted:  g.aborted.Load(),
+	}
+}
+
+// Do executes fn under the given key, coalescing with any in-progress
+// flight for the same key. The first caller starts the flight on its own
+// goroutine with a context that inherits ctx's values but NOT its
+// cancellation; later callers attach to it. shared reports whether the
+// result came from a flight this caller did not start.
+//
+// If ctx ends before the flight does, Do detaches and returns ctx.Err()
+// — the flight is only cancelled when no caller remains. A flight's
+// result is delivered to every caller still attached; once it completes
+// the key is free and the next Do runs a fresh flight.
+func (g *Group) Do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (v any, shared bool, err error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	f, ok := g.flights[key]
+	if ok {
+		f.callers++
+		g.hits.Add(1)
+		g.mu.Unlock()
+		return g.wait(ctx, key, f, true)
+	}
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f = &flight{done: make(chan struct{}), cancel: cancel, callers: 1}
+	g.flights[key] = f
+	g.nflights.Add(1)
+	g.mu.Unlock()
+
+	go func() {
+		v, err := fn(fctx)
+		g.mu.Lock()
+		f.val, f.err = v, err
+		// The flight is finished: free the key so the next identical
+		// request computes anew rather than reading a stale result. An
+		// abandoned flight may already have been displaced by a fresh one
+		// under the same key — never delete that successor.
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return g.wait(ctx, key, f, false)
+}
+
+// wait blocks until the flight completes or the caller's context ends,
+// detaching in the latter case.
+func (g *Group) wait(ctx context.Context, key string, f *flight, shared bool) (any, bool, error) {
+	select {
+	case <-f.done:
+		return f.val, shared, f.err
+	case <-ctx.Done():
+	}
+	// Detach: if the flight already closed done in the race, prefer the
+	// result — it is complete and paid for.
+	select {
+	case <-f.done:
+		return f.val, shared, f.err
+	default:
+	}
+	g.mu.Lock()
+	f.callers--
+	abandoned := f.callers == 0
+	if abandoned {
+		// No caller remains; a result would be discarded anyway. Drop the
+		// key immediately so a fresh caller is not chained to a flight
+		// that is already tearing itself down.
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+	}
+	g.mu.Unlock()
+	g.detached.Add(1)
+	if abandoned {
+		g.aborted.Add(1)
+		f.cancel()
+	}
+	return nil, shared, ctx.Err()
+}

@@ -1,0 +1,248 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCoalescesConcurrentCallers pins the core contract: N concurrent
+// Do calls on one key execute fn exactly once and all receive its result.
+func TestCoalescesConcurrentCallers(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	release := make(chan struct{})
+
+	const n = 32
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	errs := make([]error, n)
+	shareds := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+				execs.Add(1)
+				<-release
+				return "result", nil
+			})
+			results[i], shareds[i], errs[i] = v, shared, err
+		}(i)
+	}
+	// Wait until every caller has attached (1 flight + n-1 hits), then
+	// let the flight finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().Hits < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("callers never attached: stats %+v", g.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	leaders := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || results[i] != "result" {
+			t.Fatalf("caller %d: (%v, %v)", i, results[i], errs[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d callers report shared=false, want exactly 1", leaders)
+	}
+	st := g.Stats()
+	if st.Flights != 1 || st.Hits != n-1 || st.Detached != 0 || st.Aborted != 0 {
+		t.Fatalf("stats %+v, want 1 flight, %d hits", st, n-1)
+	}
+}
+
+// TestCancelledCallerDetachesWithoutKillingFlight: a caller whose
+// context dies mid-flight gets its context error, while the flight keeps
+// running and delivers to the survivor.
+func TestCancelledCallerDetachesWithoutKillingFlight(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var flightCtxErr error
+	var flightDone sync.WaitGroup
+
+	flightDone.Add(1)
+	survivor := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", func(fctx context.Context) (any, error) {
+			close(started)
+			<-release
+			defer flightDone.Done()
+			flightCtxErr = fctx.Err()
+			return 42, nil
+		})
+		survivor <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Cancel once the second caller has attached.
+		for g.Stats().Hits == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	_, shared, err := g.Do(ctx, "k", func(context.Context) (any, error) {
+		t.Error("second caller must attach, not start a flight")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled caller err = %v, want context.Canceled", err)
+	}
+	if !shared {
+		t.Fatal("cancelled caller should have attached to the running flight")
+	}
+
+	close(release)
+	if err := <-survivor; err != nil {
+		t.Fatalf("survivor err = %v, want nil", err)
+	}
+	flightDone.Wait()
+	if flightCtxErr != nil {
+		t.Fatalf("flight context was cancelled (%v) though a caller remained", flightCtxErr)
+	}
+	st := g.Stats()
+	if st.Flights != 1 || st.Detached != 1 || st.Aborted != 0 {
+		t.Fatalf("stats %+v, want 1 flight / 1 detached / 0 aborted", st)
+	}
+}
+
+// TestAllCallersGoneCancelsFlight: when the last caller detaches, the
+// flight's context is cancelled so the computation can stop.
+func TestAllCallersGoneCancelsFlight(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	flightErr := make(chan error, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, _, err := g.Do(ctx, "k", func(fctx context.Context) (any, error) {
+		close(started)
+		select {
+		case <-fctx.Done():
+			flightErr <- fctx.Err()
+			return nil, fctx.Err()
+		case <-time.After(10 * time.Second):
+			flightErr <- nil
+			return nil, nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller err = %v, want context.Canceled", err)
+	}
+	select {
+	case ferr := <-flightErr:
+		if !errors.Is(ferr, context.Canceled) {
+			t.Fatalf("flight ctx err = %v, want context.Canceled", ferr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight never observed cancellation after its last caller left")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().Aborted != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats %+v, want 1 aborted", g.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDistinctKeysNeverCoalesce: different keys run independent flights.
+func TestDistinctKeysNeverCoalesce(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := g.Do(context.Background(), fmt.Sprintf("k%d", i), func(context.Context) (any, error) {
+				execs.Add(1)
+				return i, nil
+			})
+			if err != nil || v != i {
+				t.Errorf("key k%d: (%v, %v)", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := execs.Load(); got != 8 {
+		t.Fatalf("fn executed %d times, want 8 (one per key)", got)
+	}
+	if st := g.Stats(); st.Flights != 8 || st.Hits != 0 {
+		t.Fatalf("stats %+v, want 8 flights / 0 hits", st)
+	}
+}
+
+// TestSequentialCallsRunFresh: coalescing only applies to in-progress
+// flights — a completed one never serves a later call from cache.
+func TestSequentialCallsRunFresh(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	for i := 0; i < 3; i++ {
+		v, shared, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			return execs.Add(1), nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: shared=%v err=%v", i, shared, err)
+		}
+		if v != int64(i+1) {
+			t.Fatalf("call %d returned %v, want %d", i, v, i+1)
+		}
+	}
+}
+
+// TestFlightErrorIsShared: an error from fn reaches every attached caller.
+func TestFlightErrorIsShared(t *testing.T) {
+	var g Group
+	sentinel := errors.New("boom")
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	errsCh := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+				<-release
+				return nil, sentinel
+			})
+			errsCh <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Stats().Hits < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("callers never attached: %+v", g.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(errsCh)
+	for err := range errsCh {
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("caller err = %v, want sentinel", err)
+		}
+	}
+}

@@ -135,6 +135,7 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 		s.vars.Add("demand_requests", batch.Requests)
 		s.vars.Add("demand_hits", batch.LocalHits)
 		s.vars.Add("demand_misses", batch.Requests-batch.CacheHits)
+		s.metrics.demandEvents.Add(float64(batch.Requests))
 		return &RequestsResponse{Batch: batch, Demand: tp.demandInfo()}, nil
 	})
 	if err != nil {

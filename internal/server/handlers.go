@@ -12,6 +12,7 @@ import (
 
 	faircache "repro"
 
+	"repro/internal/coalesce"
 	"repro/internal/metrics"
 )
 
@@ -266,9 +267,23 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}{id, true})
 }
 
+// PartitionSpec routes a solve through the geographic sharding path
+// (appx only): Regions is the region count (0 solves globally), Halo the
+// boundary re-bid radius (0 = default, negative = keep every region's
+// copies).
+type PartitionSpec struct {
+	Regions int `json:"regions,omitempty"`
+	Halo    int `json:"halo,omitempty"`
+}
+
 // SolveOptions is the JSON projection of faircache.Options accepted by
-// solve requests.
+// solve requests. As of v1's consolidated schema it is the canonical
+// home of every per-solve knob, including the algorithm selection.
 type SolveOptions struct {
+	// Algorithm is Appx, Dist, Hopc, Cont or Brtf (the paper's five);
+	// legacy aliases such as "approximate" parse, and responses echo the
+	// canonical name. Empty selects Appx.
+	Algorithm      string  `json:"algorithm,omitempty"`
 	Capacity       int     `json:"capacity,omitempty"`
 	Capacities     []int   `json:"capacities,omitempty"`
 	AlphaStep      float64 `json:"alphaStep,omitempty"`
@@ -284,10 +299,14 @@ type SolveOptions struct {
 	// Workers sizes the engine's worker pool for this solve (0 =
 	// GOMAXPROCS, 1 = sequential).
 	Workers int `json:"workers,omitempty"`
-	// PartitionRegions routes the solve through the geographic sharding
-	// path with that many regions (appx only); 0 solves globally.
-	// PartitionHalo tunes the boundary re-bid radius (0 = default,
-	// negative = keep every region's copies).
+	// Partition routes the solve through the geographic sharding path.
+	Partition *PartitionSpec `json:"partition,omitempty"`
+
+	// PartitionRegions and PartitionHalo are the pre-consolidation
+	// spellings of Partition.Regions/Partition.Halo.
+	//
+	// Deprecated: use Partition. Still accepted; responses carry a
+	// deprecation note.
 	PartitionRegions int `json:"partitionRegions,omitempty"`
 	PartitionHalo    int `json:"partitionHalo,omitempty"`
 }
@@ -312,28 +331,93 @@ func (o *SolveOptions) toOptions(capacity int) *faircache.Options {
 	out.GreedyConFL = o.GreedyConFL
 	out.ImproveSteiner = o.ImproveSteiner
 	out.Workers = o.Workers
-	if o.PartitionRegions != 0 {
+	if o.Partition != nil && o.Partition.Regions != 0 {
 		out.Partition = &faircache.PartitionOptions{
-			Regions: o.PartitionRegions,
-			Halo:    o.PartitionHalo,
+			Regions: o.Partition.Regions,
+			Halo:    o.Partition.Halo,
 		}
 	}
 	return out
 }
 
-// SolveRequest is the body of POST /v1/topologies/{id}/solve.
+// SolveRequest is the body of POST /v1/topologies/{id}/solve. The
+// canonical v1 shape nests every per-solve knob under Options; the flat
+// fields remain accepted for older clients and are folded into Options
+// by normalize, with deprecation notes echoed in the response.
 type SolveRequest struct {
-	// Algorithm is appx, dist, hopc, cont or brtf (the paper's five).
-	Algorithm string `json:"algorithm"`
 	// Chunks is the number of distinct chunks to place (default 5).
 	Chunks int `json:"chunks,omitempty"`
 	// TimeoutMs shortens the server's solve timeout for this request.
+	// It shapes only this caller's wait, never the shared flight, so it
+	// is not part of the coalescing identity.
 	TimeoutMs int `json:"timeoutMs,omitempty"`
 	// Options tunes the algorithm; zero values mean paper defaults.
 	Options *SolveOptions `json:"options,omitempty"`
+
+	// Algorithm, Workers, PartitionRegions and PartitionHalo are the
+	// pre-consolidation flat spellings of the same-named Options fields.
+	//
+	// Deprecated: set them inside Options. Still accepted (nested values
+	// win); responses carry a deprecation note.
+	Algorithm        string `json:"algorithm,omitempty"`
+	Workers          int    `json:"workers,omitempty"`
+	PartitionRegions int    `json:"partitionRegions,omitempty"`
+	PartitionHalo    int    `json:"partitionHalo,omitempty"`
 }
 
-// SolveResponse reports a committed one-shot placement.
+// normalize folds the deprecated flat request fields into the canonical
+// nested Options (nested values win over flat ones), resolves the
+// algorithm to its canonical name, and returns the deprecation notes to
+// echo in the response envelope. The returned SolveOptions is a
+// normalized copy: its Algorithm holds the canonical name and legacy
+// partition fields are folded into Partition, which makes its JSON
+// encoding a canonical coalescing identity.
+func (req *SolveRequest) normalize() (faircache.Algorithm, *SolveOptions, []string, *Error) {
+	opts := &SolveOptions{}
+	if req.Options != nil {
+		o := *req.Options
+		opts = &o
+	}
+	var notes []string
+	if req.Algorithm != "" {
+		if opts.Algorithm == "" {
+			opts.Algorithm = req.Algorithm
+		}
+		notes = append(notes, `flat "algorithm" is deprecated; use options.algorithm`)
+	}
+	if req.Workers != 0 {
+		if opts.Workers == 0 {
+			opts.Workers = req.Workers
+		}
+		notes = append(notes, `flat "workers" is deprecated; use options.workers`)
+	}
+	if req.PartitionRegions != 0 || req.PartitionHalo != 0 {
+		if opts.PartitionRegions == 0 && opts.PartitionHalo == 0 {
+			opts.PartitionRegions = req.PartitionRegions
+			opts.PartitionHalo = req.PartitionHalo
+		}
+		notes = append(notes, `flat "partitionRegions"/"partitionHalo" are deprecated; use options.partition`)
+	}
+	if opts.PartitionRegions != 0 || opts.PartitionHalo != 0 {
+		if req.Options != nil && (req.Options.PartitionRegions != 0 || req.Options.PartitionHalo != 0) {
+			notes = append(notes, `options.partitionRegions/partitionHalo are deprecated; use options.partition`)
+		}
+		if opts.Partition == nil {
+			opts.Partition = &PartitionSpec{Regions: opts.PartitionRegions, Halo: opts.PartitionHalo}
+		}
+		opts.PartitionRegions, opts.PartitionHalo = 0, 0
+	}
+	alg, err := faircache.ParseAlgorithm(opts.Algorithm)
+	if err != nil {
+		return "", nil, nil, badRequestf("%v", err)
+	}
+	opts.Algorithm = alg.String()
+	return alg, opts, notes, nil
+}
+
+// SolveResponse reports a committed one-shot placement. Algorithm
+// always echoes the canonical name ("Appx", ...), whatever alias the
+// request used.
 type SolveResponse struct {
 	Version           int            `json:"version"`
 	Algorithm         string         `json:"algorithm"`
@@ -352,6 +436,25 @@ type SolveResponse struct {
 	// Partition reports the decomposition of a sharded solve (nil for
 	// global solves).
 	Partition *faircache.PartitionReport `json:"partition,omitempty"`
+	// Coalesced reports that this response was served by attaching to
+	// another request's in-progress identical solve.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Deprecated lists the deprecated request fields this call used.
+	Deprecated []string `json:"deprecated,omitempty"`
+}
+
+// solveKey is the canonical coalescing identity of a solve: requests
+// coalesce iff they place the same chunk count with byte-identical
+// normalized options. TimeoutMs is deliberately excluded — it shapes a
+// caller's wait, not the computation.
+func solveKey(chunks int, opts *SolveOptions) string {
+	payload, err := json.Marshal(opts)
+	if err != nil {
+		// Options are plain scalars and slices; Marshal cannot fail. Keep
+		// a defensive unique key rather than coalescing wrongly.
+		return fmt.Sprintf("nomarshal:%p", opts)
+	}
+	return fmt.Sprintf("%d:%s", chunks, payload)
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -372,7 +475,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequestf("chunks must be >= 1, got %d", req.Chunks))
 		return
 	}
-	alg, _, aerr := algorithmFor(req.Algorithm)
+	alg, opts, notes, aerr := req.normalize()
 	if aerr != nil {
 		s.writeError(w, aerr)
 		return
@@ -384,14 +487,54 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	var (
+		v      any
+		shared bool
+		err    error
+	)
+	if s.opts.DisableCoalescing {
+		v, err = s.runSolve(ctx, tp, alg, req.Chunks, opts)
+	} else {
+		// Identical concurrent solves share one flight. The flight gets
+		// the server's full solve budget regardless of any one caller's
+		// timeoutMs: a short-deadline caller detaches on its own deadline
+		// without starving the flight's other waiters.
+		v, shared, err = tp.solveG.Do(ctx, solveKey(req.Chunks, opts), func(fctx context.Context) (any, error) {
+			fctx, fcancel := context.WithTimeout(fctx, s.opts.SolveTimeout)
+			defer fcancel()
+			return s.runSolve(fctx, tp, alg, req.Chunks, opts)
+		})
+		if shared {
+			s.metrics.coalesceHits.WithLabelValues("solve").Inc()
+			s.vars.Add("coalesced_solves", 1)
+		} else {
+			s.metrics.coalesceFlights.WithLabelValues("solve").Inc()
+		}
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// The flight's response is shared between callers: shallow-copy it so
+	// the per-caller coalesced flag and deprecation notes never race.
+	resp := *(v.(*SolveResponse))
+	resp.Coalesced = shared
+	resp.Deprecated = notes
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// runSolve executes one underlying solve on the topology's worker and
+// commits the placement: the computation a coalesced flight shares.
+func (s *Server) runSolve(ctx context.Context, tp *topology, alg faircache.Algorithm, chunks int, opts *SolveOptions) (*SolveResponse, error) {
 	v, err := tp.do(ctx, func(cctx context.Context) (any, error) {
 		start := time.Now()
 		res, err := tp.solver.Solve(cctx, faircache.Request{
 			Producer:  tp.producer,
-			Chunks:    req.Chunks,
+			Chunks:    chunks,
 			Algorithm: alg,
-			Options:   req.Options.toOptions(tp.capacity),
+			Options:   opts.toOptions(tp.capacity),
 		})
+		s.metrics.solveDuration.Observe(time.Since(start).Seconds())
 		if err != nil {
 			return nil, err
 		}
@@ -411,9 +554,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		snap := &Snapshot{
 			Version:      tp.version + 1,
-			Source:       "solve:" + string(res.Algorithm),
+			Source:       "solve:" + res.Algorithm.String(),
 			Producer:     tp.producer,
-			Chunks:       req.Chunks,
+			Chunks:       chunks,
 			Holders:      holders,
 			Counts:       append([]int(nil), res.Counts...),
 			Clock:        prev.Clock,
@@ -429,8 +572,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.vars.Add("solves", 1)
 		return &SolveResponse{
 			Version:           snap.Version,
-			Algorithm:         string(res.Algorithm),
-			Chunks:            req.Chunks,
+			Algorithm:         res.Algorithm.String(),
+			Chunks:            chunks,
 			Holders:           res.Holders,
 			Counts:            res.Counts,
 			Copies:            res.TotalCopies(),
@@ -446,29 +589,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return nil, err
 	}
-	writeJSON(w, http.StatusOK, v)
-}
-
-// algorithmFor resolves a request's algorithm name (and its aliases) onto
-// the library's Algorithm identifier for a Solver request.
-func algorithmFor(name string) (faircache.Algorithm, string, *Error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "appx", "approximate", "":
-		return faircache.AlgorithmApprox, "appx", nil
-	case "dist", "distribute", "distributed":
-		return faircache.AlgorithmDistributed, "dist", nil
-	case "hopc", "hopcount":
-		return faircache.AlgorithmHopCount, "hopc", nil
-	case "cont", "contention":
-		return faircache.AlgorithmContention, "cont", nil
-	case "brtf", "optimal", "exact":
-		return faircache.AlgorithmOptimal, "brtf", nil
-	default:
-		return "", "", badRequestf("unknown algorithm %q (want appx, dist, hopc, cont or brtf)", name)
-	}
+	return v.(*SolveResponse), nil
 }
 
 // PublishRequest is the body of POST /v1/topologies/{id}/publish. An
@@ -656,6 +779,13 @@ func queryInt(r *http.Request, key string) (int, *Error) {
 	return v, nil
 }
 
+// CoalesceInfo is one topology's cumulative request-dedup counters, per
+// coalescing endpoint.
+type CoalesceInfo struct {
+	Solve  coalesce.Stats `json:"solve"`
+	Report coalesce.Stats `json:"report"`
+}
+
 // ReportResponse is the body of GET /v1/topologies/{id}/report: the full
 // committed snapshot plus the paper's fairness metrics.
 type ReportResponse struct {
@@ -674,6 +804,11 @@ type ReportResponse struct {
 	// Solver exposes the warm/cold cost-model counters: after the first
 	// solve on a topology every later one should be warm.
 	Solver faircache.SolverStats `json:"solver"`
+	// Coalesce exposes this topology's request-dedup counters.
+	Coalesce CoalesceInfo `json:"coalesce"`
+	// Coalesced reports that this response was served by attaching to
+	// another request's in-progress report computation.
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -682,6 +817,41 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, terr)
 		return
 	}
+	build := func(context.Context) (any, error) { return s.buildReport(tp), nil }
+	var (
+		v      any
+		shared bool
+		err    error
+	)
+	if s.opts.DisableCoalescing {
+		v, err = build(r.Context())
+	} else {
+		// Concurrent reports of the same committed version share one
+		// metrics computation. The key is the snapshot version, so a
+		// commit landing mid-flight starts a fresh flight for later
+		// callers instead of serving them the pre-commit report.
+		key := strconv.Itoa(tp.snap.Load().Version)
+		v, shared, err = tp.reportG.Do(r.Context(), key, build)
+		if shared {
+			s.metrics.coalesceHits.WithLabelValues("report").Inc()
+			s.vars.Add("coalesced_reports", 1)
+		} else {
+			s.metrics.coalesceFlights.WithLabelValues("report").Inc()
+		}
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.vars.Add("reports", 1)
+	resp := *(v.(*ReportResponse))
+	resp.Coalesced = shared
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// buildReport computes the full report from the current committed
+// snapshot — the computation concurrent identical reports share.
+func (s *Server) buildReport(tp *topology) *ReportResponse {
 	snap := tp.snap.Load()
 	copies, distinct := 0, 0
 	for _, c := range snap.Counts {
@@ -694,8 +864,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if pf, err := metrics.PercentileFairness(snap.Counts, 75); err == nil {
 		fairness75 = pf
 	}
-	s.vars.Add("reports", 1)
-	writeJSON(w, http.StatusOK, ReportResponse{
+	return &ReportResponse{
 		ID:             tp.id,
 		Kind:           tp.kind,
 		Nodes:          tp.topo.NumNodes(),
@@ -709,7 +878,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		Fairness75:     fairness75,
 		StorageCurve:   metrics.StorageCurve(snap.Counts),
 		Solver:         tp.solver.Stats(),
-	})
+		Coalesce: CoalesceInfo{
+			Solve:  tp.solveG.Stats(),
+			Report: tp.reportG.Stats(),
+		},
+	}
 }
 
 // HealthResponse is the body of GET /healthz.

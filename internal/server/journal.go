@@ -8,7 +8,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/metrics/prom"
 	"repro/internal/wal"
 )
 
@@ -189,6 +191,9 @@ func LoadWALState(dir string) (*WALState, error) {
 // behavior.
 type journal struct {
 	vars *expvar.Map // the owning server's counters
+	// appendDur observes WAL append latency (nil when metrics are not
+	// wired, e.g. in journal-only tests).
+	appendDur *prom.Histogram
 
 	mu        sync.Mutex
 	log       *wal.Log
@@ -216,7 +221,12 @@ func (j *journal) append(rec *WALRecord, commit func()) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.log.Append(payload); err != nil {
+	start := time.Now()
+	err = j.log.Append(payload)
+	if j.appendDur != nil {
+		j.appendDur.Observe(time.Since(start).Seconds())
+	}
+	if err != nil {
 		j.vars.Add("wal_errors", 1)
 		return err
 	}
@@ -249,6 +259,15 @@ func (j *journal) snapshotLocked() error {
 	j.sinceSnap = 0
 	j.vars.Add("wal_snapshots", 1)
 	return nil
+}
+
+// syncLag reports how long the oldest acknowledged-but-unsynced WAL
+// append has waited for an fsync; 0 for a clean log or in-memory mode.
+func (j *journal) syncLag() time.Duration {
+	if j == nil {
+		return 0
+	}
+	return j.log.SyncLag()
 }
 
 // close flushes and closes the WAL. Safe on a nil journal.

@@ -1,23 +1,33 @@
 // Package loadgen is a small in-repo load generator for the faircached
-// placement service. It drives a mixed read/write workload — mostly
-// placement lookups, with periodic online publications and fairness
-// reports — against one registered topology, and reports throughput.
-// The daemon's -load mode and the throughput smoke tests use it.
+// placement service, built on the typed client package. It drives two
+// workloads against one registered topology:
+//
+//   - Run: a mixed read/write workload — mostly placement lookups, with
+//     periodic online publications and fairness reports — reporting
+//     throughput. The daemon's -load mode and the throughput smoke
+//     tests use it.
+//   - RunSolveBurst: a skewed burst of identical solve requests, the
+//     production-traffic shape request coalescing exists for. It
+//     reports the coalescing hit rate (requests served by attaching to
+//     a shared in-progress flight), the number of underlying solve
+//     computations, and p50/p99 latency — so one run with coalescing
+//     enabled and one with it disabled is a before/after comparison.
 package loadgen
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/client"
+	"repro/internal/server"
 )
 
-// Config tunes one load run. BaseURL and TopologyID are required.
+// Config tunes one mixed load run. BaseURL and TopologyID are required.
 type Config struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
@@ -51,7 +61,7 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats is the outcome of one load run.
+// Stats is the outcome of one mixed load run.
 type Stats struct {
 	Lookups   int64
 	Publishes int64
@@ -71,16 +81,7 @@ func (s *Stats) Throughput() float64 {
 	return float64(s.Total()) / s.Elapsed.Seconds()
 }
 
-// report is the subset of the service's report response the generator
-// needs to shape the workload.
-type report struct {
-	Nodes    int `json:"nodes"`
-	Snapshot struct {
-		Chunks int `json:"chunks"`
-	} `json:"snapshot"`
-}
-
-// Run drives the workload and returns aggregate stats. The first
+// Run drives the mixed workload and returns aggregate stats. The first
 // operation is always a publication so lookups have a known chunk to
 // target. Run stops early (without error) when ctx is cancelled.
 func Run(ctx context.Context, cfg Config) (*Stats, error) {
@@ -88,10 +89,10 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 	if cfg.BaseURL == "" || cfg.TopologyID == "" {
 		return nil, fmt.Errorf("loadgen: BaseURL and TopologyID are required")
 	}
-	base := cfg.BaseURL + "/v1/topologies/" + cfg.TopologyID
+	cl := client.New(cfg.BaseURL, client.WithHTTPClient(cfg.Client))
 
-	var rep report
-	if err := getJSON(ctx, cfg.Client, base+"/report", &rep); err != nil {
+	rep, err := cl.Report(ctx, cfg.TopologyID)
+	if err != nil {
 		return nil, fmt.Errorf("loadgen: initial report: %w", err)
 	}
 	nodes := rep.Nodes
@@ -122,10 +123,8 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 				}
 				switch {
 				case i == 0 || i%cfg.PublishEvery == 0:
-					var pub struct {
-						Published int `json:"published"`
-					}
-					if err := postJSON(ctx, cfg.Client, base+"/publish", nil, &pub); err != nil {
+					pub, err := cl.Publish(ctx, cfg.TopologyID, 1)
+					if err != nil {
 						atomic.AddInt64(&stats.Errors, 1)
 						continue
 					}
@@ -134,7 +133,7 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 					}
 					atomic.AddInt64(&stats.Publishes, 1)
 				case i%25 == 0:
-					if err := getJSON(ctx, cfg.Client, base+"/report", &struct{}{}); err != nil {
+					if _, err := cl.Report(ctx, cfg.TopologyID); err != nil {
 						atomic.AddInt64(&stats.Errors, 1)
 						continue
 					}
@@ -146,9 +145,7 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 					}
 					chunk := i % int(k)
 					node := (i * 13) % nodes
-					url := fmt.Sprintf("%s/lookup?chunk=%d&node=%d", base, chunk, node)
-					status, err := get(ctx, cfg.Client, url)
-					if err != nil || (status != http.StatusOK && status != http.StatusNotFound) {
+					if _, err := cl.Lookup(ctx, cfg.TopologyID, chunk, node); err != nil && !client.IsNotFound(err) {
 						atomic.AddInt64(&stats.Errors, 1)
 						continue
 					}
@@ -162,67 +159,172 @@ func Run(ctx context.Context, cfg Config) (*Stats, error) {
 	return &stats, nil
 }
 
-func get(ctx context.Context, client *http.Client, url string) (int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+// SolveBurstConfig tunes one identical-solve burst. BaseURL and
+// TopologyID are required.
+type SolveBurstConfig struct {
+	// BaseURL is the service root.
+	BaseURL string
+	// TopologyID is the registered topology to hammer.
+	TopologyID string
+	// Requests is the total solve-request count (default 200).
+	Requests int
+	// Workers is the number of concurrent clients (default 16) — the
+	// burst's concurrency is what creates coalescing opportunities.
+	Workers int
+	// Chunks and Algorithm shape the identical request every worker
+	// sends (defaults: 5 chunks, Appx).
+	Chunks    int
+	Algorithm string
+	// Client overrides the HTTP client (default: 30s timeout).
+	Client *http.Client
 }
 
-func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
+func (c SolveBurstConfig) withDefaults() SolveBurstConfig {
+	if c.Requests <= 0 {
+		c.Requests = 200
 	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
+	if c.Workers <= 0 {
+		c.Workers = 16
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
+	if c.Chunks <= 0 {
+		c.Chunks = 5
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	if c.Algorithm == "" {
+		c.Algorithm = "Appx"
 	}
-	return json.Unmarshal(body, out)
+	if c.Client == nil {
+		// One keep-alive connection per worker: the default transport
+		// keeps only 2 idle conns per host, and the resulting redials
+		// stagger request arrivals enough to break up the very bursts
+		// this workload exists to create.
+		transport := http.DefaultTransport.(*http.Transport).Clone()
+		transport.MaxIdleConns = c.Workers
+		transport.MaxIdleConnsPerHost = c.Workers
+		c.Client = &http.Client{Timeout: 30 * time.Second, Transport: transport}
+	}
+	return c
 }
 
-func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
-	var rd io.Reader
-	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(buf)
+// SolveBurstStats is the outcome of one identical-solve burst.
+type SolveBurstStats struct {
+	// Requests and Errors count issued requests and failures.
+	Requests int64
+	Errors   int64
+	// Coalesced counts responses served by attaching to another
+	// request's in-progress flight (the response's coalesced flag).
+	Coalesced int64
+	// Solves is the number of underlying solve computations the burst
+	// actually ran, measured as the committed-solve delta between the
+	// before and after reports.
+	Solves int64
+	// P50 and P99 are request-latency percentiles over successful
+	// requests.
+	P50, P99 time.Duration
+	Elapsed  time.Duration
+}
+
+// HitRate returns the fraction of successful requests served from a
+// shared flight.
+func (s *SolveBurstStats) HitRate() float64 {
+	done := s.Requests - s.Errors
+	if done <= 0 {
+		return 0
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, rd)
+	return float64(s.Coalesced) / float64(done)
+}
+
+// Throughput returns successful requests per second.
+func (s *SolveBurstStats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Requests-s.Errors) / s.Elapsed.Seconds()
+}
+
+// RunSolveBurst fires cfg.Requests identical solve requests from
+// cfg.Workers concurrent clients and measures how many underlying
+// computations they collapsed to. Stops early (without error) when ctx
+// is cancelled.
+func RunSolveBurst(ctx context.Context, cfg SolveBurstConfig) (*SolveBurstStats, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" || cfg.TopologyID == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL and TopologyID are required")
+	}
+	cl := client.New(cfg.BaseURL, client.WithHTTPClient(cfg.Client))
+
+	before, err := cl.Report(ctx, cfg.TopologyID)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("loadgen: before report: %w", err)
 	}
-	resp, err := client.Do(req)
+
+	solveReq := &server.SolveRequest{
+		Chunks:  cfg.Chunks,
+		Options: &server.SolveOptions{Algorithm: cfg.Algorithm},
+	}
+	var (
+		stats SolveBurstStats
+		next  atomic.Int64
+		mu    sync.Mutex
+		lats  []time.Duration
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []time.Duration
+			for {
+				if ctx.Err() != nil {
+					break
+				}
+				if int(next.Add(1)) > cfg.Requests {
+					break
+				}
+				atomic.AddInt64(&stats.Requests, 1)
+				t0 := time.Now()
+				resp, err := cl.Solve(ctx, cfg.TopologyID, solveReq)
+				if err != nil {
+					atomic.AddInt64(&stats.Errors, 1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+				if resp.Coalesced {
+					atomic.AddInt64(&stats.Coalesced, 1)
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+
+	after, err := cl.Report(ctx, cfg.TopologyID)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("loadgen: after report: %w", err)
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
+	stats.Solves = int64(after.Snapshot.Solves - before.Snapshot.Solves)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	stats.P50 = percentile(lats, 50)
+	stats.P99 = percentile(lats, 99)
+	return &stats, nil
+}
+
+// percentile picks the p-th percentile of an ascending-sorted latency
+// slice (nearest-rank); 0 for an empty slice.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, body)
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
 	}
-	if out != nil {
-		return json.Unmarshal(body, out)
+	if idx > len(sorted) {
+		idx = len(sorted)
 	}
-	return nil
+	return sorted[idx-1]
 }

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/metrics/prom"
+)
+
+// serverMetrics is the server's Prometheus instrument set, served on
+// GET /metrics. It replaces expvar as the first-class observability
+// surface (the expvar map stays as a shim for /debug/vars consumers).
+// Registry callbacks read live server state at scrape time, so gauges
+// like worker queue depth and WAL fsync lag never go stale.
+type serverMetrics struct {
+	registry *prom.Registry
+
+	// Per-endpoint request accounting, recorded by instrument().
+	requests *prom.CounterVec   // faircached_requests_total{endpoint}
+	errors   *prom.CounterVec   // faircached_request_errors_total{endpoint}
+	duration *prom.HistogramVec // faircached_request_duration_seconds{endpoint}
+
+	// Solve-path instruments.
+	solveDuration   *prom.Histogram  // underlying engine solves only
+	coalesceFlights *prom.CounterVec // underlying computations started
+	coalesceHits    *prom.CounterVec // callers served by a shared flight
+
+	// Demand and durability instruments.
+	demandEvents      *prom.Counter
+	walAppendDuration *prom.Histogram
+}
+
+// solveBuckets widen the default latency buckets upward: partitioned
+// solves on large topologies run for seconds.
+var solveBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// newServerMetrics builds the instrument set and the scrape-time gauges
+// over the server's live registry state.
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := prom.NewRegistry()
+	m := &serverMetrics{
+		registry: reg,
+		requests: reg.CounterVec("faircached_requests_total",
+			"HTTP requests served, by endpoint.", "endpoint"),
+		errors: reg.CounterVec("faircached_request_errors_total",
+			"HTTP requests answered with status >= 400, by endpoint.", "endpoint"),
+		duration: reg.HistogramVec("faircached_request_duration_seconds",
+			"HTTP request latency, by endpoint.", nil, "endpoint"),
+		solveDuration: reg.Histogram("faircached_solve_duration_seconds",
+			"Latency of underlying engine solves (coalesced callers share one observation).", solveBuckets),
+		coalesceFlights: reg.CounterVec("faircached_coalesce_flights_total",
+			"Underlying computations started by coalescing endpoints.", "endpoint"),
+		coalesceHits: reg.CounterVec("faircached_coalesced_requests_total",
+			"Requests served by attaching to an in-progress identical flight.", "endpoint"),
+		demandEvents: reg.Counter("faircached_demand_events_total",
+			"Demand request events ingested via POST requests batches."),
+		walAppendDuration: reg.Histogram("faircached_wal_append_duration_seconds",
+			"Latency of WAL record appends (includes fsync under the always policy).", nil),
+	}
+	reg.GaugeFunc("faircached_topologies",
+		"Registered topologies.", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.topos))
+		})
+	reg.GaugeFunc("faircached_worker_queue_depth",
+		"Mutations queued on or running in topology workers.", func() float64 {
+			var n int64
+			s.mu.RLock()
+			for _, tp := range s.topos {
+				n += tp.queued.Load()
+			}
+			s.mu.RUnlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("faircached_costmodel_cold_builds",
+		"Cost-model cold builds summed over live topologies.",
+		s.sumSolverStats(func(st solverStatTriple) int { return st.cold }))
+	reg.GaugeFunc("faircached_costmodel_warm_solves",
+		"Warm-fork solves summed over live topologies.",
+		s.sumSolverStats(func(st solverStatTriple) int { return st.warm }))
+	reg.GaugeFunc("faircached_costmodel_partitioned_solves",
+		"Partitioned solves summed over live topologies.",
+		s.sumSolverStats(func(st solverStatTriple) int { return st.partitioned }))
+	reg.GaugeFunc("faircached_wal_fsync_lag_seconds",
+		"Age of the oldest acknowledged-but-unsynced WAL append (0 when clean or in-memory).",
+		func() float64 { return s.journal.syncLag().Seconds() })
+	reg.GaugeFunc("faircached_uptime_seconds",
+		"Seconds since the server started.", func() float64 {
+			return time.Since(s.start).Seconds()
+		})
+	return m
+}
+
+// solverStatTriple is the subset of faircache.SolverStats the gauges
+// aggregate.
+type solverStatTriple struct{ cold, warm, partitioned int }
+
+// sumSolverStats returns a scrape callback summing one solver counter
+// over the live topology registry.
+func (s *Server) sumSolverStats(pick func(solverStatTriple) int) func() float64 {
+	return func() float64 {
+		total := 0
+		s.mu.RLock()
+		for _, tp := range s.topos {
+			st := tp.solver.Stats()
+			total += pick(solverStatTriple{
+				cold:        st.ColdBuilds,
+				warm:        st.WarmSolves,
+				partitioned: st.PartitionedSolves,
+			})
+		}
+		s.mu.RUnlock()
+		return float64(total)
+	}
+}
+
+// statusRecorder captures the response status for error accounting.
+// Handlers that never call WriteHeader implicitly answer 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

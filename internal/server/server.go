@@ -27,7 +27,8 @@
 //	GET    /v1/topologies/{id}/lookup  which node serves chunk n to requester j
 //	GET    /v1/topologies/{id}/report  snapshot + fairness metrics + storage curve
 //	GET    /healthz                    liveness
-//	GET    /debug/vars                 expvar globals + this server's counters
+//	GET    /metrics                    Prometheus text-format metrics
+//	GET    /debug/vars                 expvar globals + this server's counters (legacy shim)
 //
 // Every error is a typed JSON object {"error":{"code","message"}} with a
 // matching HTTP status.
@@ -57,6 +58,11 @@ type Options struct {
 	MaxNodes int
 	// MaxPublishBatch caps the count of one publish request (default 64).
 	MaxPublishBatch int
+	// DisableCoalescing turns off singleflight coalescing of identical
+	// solve and report requests. Coalescing is on by default; disabling
+	// it makes every request run its own computation (the before/after
+	// baseline for the loadgen comparison).
+	DisableCoalescing bool
 
 	// DataDir enables durability: the write-ahead log and full-state
 	// snapshots live here and New recovers from them. Empty keeps the
@@ -100,8 +106,9 @@ type Server struct {
 	opts    Options
 	mux     *http.ServeMux
 	start   time.Time
-	vars    *expvar.Map // per-Server counters (not process-global)
-	journal *journal    // nil in in-memory mode
+	vars    *expvar.Map    // per-Server counters (legacy shim; /metrics is canonical)
+	metrics *serverMetrics // Prometheus instruments served on GET /metrics
+	journal *journal       // nil in in-memory mode
 
 	mu     sync.RWMutex
 	topos  map[string]*topology
@@ -124,12 +131,14 @@ func New(opts Options) (*Server, error) {
 		vars:  new(expvar.Map).Init(),
 		topos: make(map[string]*topology),
 	}
+	s.metrics = newServerMetrics(s)
 	if s.opts.DataDir != "" {
 		if err := s.openJournal(); err != nil {
 			return nil, err
 		}
 	}
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.registry.ServeHTTP))
 	s.mux.HandleFunc("GET /debug/vars", s.instrument("debug_vars", s.handleVars))
 	s.mux.HandleFunc("POST /v1/topologies", s.instrument("register", s.handleRegister))
 	s.mux.HandleFunc("GET /v1/topologies", s.instrument("list", s.handleList))
@@ -168,7 +177,7 @@ func (s *Server) openJournal() error {
 		log.Close()
 		return fmt.Errorf("server: WAL recovery: %w", err)
 	}
-	s.journal = &journal{vars: s.vars, log: log, shadow: shadow, every: s.opts.SnapshotEvery}
+	s.journal = &journal{vars: s.vars, appendDur: s.metrics.walAppendDuration, log: log, shadow: shadow, every: s.opts.SnapshotEvery}
 	return nil
 }
 
@@ -264,17 +273,24 @@ func (s *Server) ids() []string {
 	return out
 }
 
-// instrument wraps a handler with the request counter and the
-// per-endpoint request count and latency sum (microseconds), recorded in
-// this Server's own expvar map so embedded instances and tests never
-// share counters.
+// instrument wraps a handler with per-endpoint request, error and
+// latency accounting in both the Prometheus registry (the canonical
+// surface) and this Server's own expvar map (the legacy shim). Both are
+// per-instance, so embedded servers and tests never share counters.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.vars.Add("requests", 1)
 		s.vars.Add("requests_"+name, 1)
-		h(w, r)
-		s.vars.Add("latency_us_"+name, time.Since(start).Microseconds())
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		elapsed := time.Since(start)
+		s.vars.Add("latency_us_"+name, elapsed.Microseconds())
+		s.metrics.requests.WithLabelValues(name).Inc()
+		s.metrics.duration.WithLabelValues(name).Observe(elapsed.Seconds())
+		if rec.status >= 400 {
+			s.metrics.errors.WithLabelValues(name).Inc()
+		}
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 
 	faircache "repro"
+
+	"repro/internal/coalesce"
 )
 
 // Snapshot is the immutable committed state of one registered topology.
@@ -67,6 +69,16 @@ type topology struct {
 	wg       sync.WaitGroup
 	snap     atomic.Pointer[Snapshot]
 	solver   *faircache.Solver
+
+	// queued counts mutations submitted to the worker and not yet
+	// answered — the worker queue depth the metrics gauge sums.
+	queued atomic.Int64
+
+	// solveG and reportG coalesce concurrent identical solve and report
+	// requests onto shared flights; their per-topology dedup counters are
+	// exposed in the report response.
+	solveG  coalesce.Group
+	reportG coalesce.Group
 
 	// demand is the last demand-subsystem snapshot, stored by the worker
 	// after each requests/adapt mutation and read lock-free by the list
@@ -145,6 +157,8 @@ func (tp *topology) run() {
 // reply channel is buffered so an abandoned command never blocks the
 // worker.
 func (tp *topology) do(ctx context.Context, apply func(ctx context.Context) (any, error)) (any, error) {
+	tp.queued.Add(1)
+	defer tp.queued.Add(-1)
 	cmd := &command{ctx: ctx, apply: apply, reply: make(chan cmdResult, 1)}
 	select {
 	case tp.cmds <- cmd:

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// TestSolveSchemaV1 is the table-driven contract test for the
+// consolidated v1 solve schema: nested options are canonical, the
+// deprecated flat fields still work but are flagged in the response
+// envelope, nested values win over flat ones, and algorithm aliases
+// echo their canonical names.
+func TestSolveSchemaV1(t *testing.T) {
+	cases := []struct {
+		name           string
+		req            SolveRequest
+		wantAlgorithm  string
+		wantDeprecated []string
+		wantPartition  bool
+	}{
+		{
+			name:          "canonical nested options",
+			req:           SolveRequest{Chunks: 3, Options: &SolveOptions{Algorithm: "Dist", Workers: 1}},
+			wantAlgorithm: "Dist",
+		},
+		{
+			name:          "empty request defaults to Appx",
+			req:           SolveRequest{Chunks: 3},
+			wantAlgorithm: "Appx",
+		},
+		{
+			name:          "legacy alias parses to canonical name",
+			req:           SolveRequest{Chunks: 3, Options: &SolveOptions{Algorithm: "hopcount"}},
+			wantAlgorithm: "Hopc",
+		},
+		{
+			name:           "flat algorithm still accepted with note",
+			req:            SolveRequest{Chunks: 3, Algorithm: "cont"},
+			wantAlgorithm:  "Cont",
+			wantDeprecated: []string{`flat "algorithm" is deprecated; use options.algorithm`},
+		},
+		{
+			name:           "flat workers still accepted with note",
+			req:            SolveRequest{Chunks: 3, Workers: 1},
+			wantAlgorithm:  "Appx",
+			wantDeprecated: []string{`flat "workers" is deprecated; use options.workers`},
+		},
+		{
+			name:          "nested algorithm wins over flat",
+			req:           SolveRequest{Chunks: 3, Algorithm: "dist", Options: &SolveOptions{Algorithm: "appx"}},
+			wantAlgorithm: "Appx",
+			wantDeprecated: []string{
+				`flat "algorithm" is deprecated; use options.algorithm`,
+			},
+		},
+		{
+			name:           "flat partition fields fold into options.partition",
+			req:            SolveRequest{Chunks: 3, PartitionRegions: 2},
+			wantAlgorithm:  "Appx",
+			wantDeprecated: []string{`flat "partitionRegions"/"partitionHalo" are deprecated; use options.partition`},
+			wantPartition:  true,
+		},
+		{
+			name:           "options.partitionRegions still accepted with note",
+			req:            SolveRequest{Chunks: 3, Options: &SolveOptions{PartitionRegions: 2}},
+			wantAlgorithm:  "Appx",
+			wantDeprecated: []string{`options.partitionRegions/partitionHalo are deprecated; use options.partition`},
+			wantPartition:  true,
+		},
+		{
+			name:          "canonical options.partition carries no note",
+			req:           SolveRequest{Chunks: 3, Options: &SolveOptions{Partition: &PartitionSpec{Regions: 2}}},
+			wantAlgorithm: "Appx",
+			wantPartition: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, _ := newTestClient(t, Options{})
+			reg := c.registerGrid(4, 4, 5)
+			var resp SolveResponse
+			c.doJSON("POST", "/v1/topologies/"+reg.ID+"/solve", tc.req, &resp, http.StatusOK)
+			if resp.Algorithm != tc.wantAlgorithm {
+				t.Errorf("algorithm = %q, want %q", resp.Algorithm, tc.wantAlgorithm)
+			}
+			if !reflect.DeepEqual(resp.Deprecated, tc.wantDeprecated) {
+				t.Errorf("deprecated notes = %#v, want %#v", resp.Deprecated, tc.wantDeprecated)
+			}
+			if (resp.Partition != nil) != tc.wantPartition {
+				t.Errorf("partition report present = %v, want %v", resp.Partition != nil, tc.wantPartition)
+			}
+			if resp.Version != 2 || len(resp.Holders) != 3 {
+				t.Errorf("response not a committed 3-chunk v2 placement: %+v", resp)
+			}
+		})
+	}
+}
+
+// TestSolveSchemaErrors checks schema violations answer the typed error
+// envelope.
+func TestSolveSchemaErrors(t *testing.T) {
+	c, _ := newTestClient(t, Options{})
+	reg := c.registerGrid(4, 4, 5)
+	cases := []struct {
+		name string
+		body any
+		code string
+	}{
+		{"unknown algorithm", SolveRequest{Options: &SolveOptions{Algorithm: "lru"}}, CodeBadRequest},
+		{"unknown flat algorithm", SolveRequest{Algorithm: "banana"}, CodeBadRequest},
+		{"unknown field", map[string]any{"algorithmm": "appx"}, CodeBadRequest},
+		{"negative chunks", SolveRequest{Chunks: -1}, CodeBadRequest},
+		{"partition on non-appx", SolveRequest{
+			Options: &SolveOptions{Algorithm: "dist", Partition: &PartitionSpec{Regions: 2}},
+		}, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c.wantError("POST", "/v1/topologies/"+reg.ID+"/solve", tc.body, http.StatusBadRequest, tc.code)
+		})
+	}
+}

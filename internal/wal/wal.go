@@ -117,12 +117,13 @@ type Recovery struct {
 type Log struct {
 	opts Options
 
-	mu     sync.Mutex
-	f      *os.File // active segment
-	seq    uint64   // active segment's sequence number
-	size   int64
-	dirty  bool // bytes written since the last fsync
-	closed bool
+	mu         sync.Mutex
+	f          *os.File // active segment
+	seq        uint64   // active segment's sequence number
+	size       int64
+	dirty      bool      // bytes written since the last fsync
+	dirtySince time.Time // when the oldest unsynced append landed
+	closed     bool
 
 	done chan struct{} // stops the SyncInterval flusher
 	wg   sync.WaitGroup
@@ -336,11 +337,27 @@ func (l *Log) Append(payload []byte) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.size += int64(len(frame))
-	l.dirty = true
+	if !l.dirty {
+		l.dirty = true
+		l.dirtySince = time.Now()
+	}
 	if l.opts.Policy == SyncAlways {
 		return l.syncLocked()
 	}
 	return nil
+}
+
+// SyncLag reports how long the oldest unsynced append has been waiting
+// for an fsync — 0 when every record is on stable storage. It is the
+// upper bound on acknowledged-but-volatile history under the interval
+// and never policies.
+func (l *Log) SyncLag() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.dirty {
+		return 0
+	}
+	return time.Since(l.dirtySince)
 }
 
 // Sync forces dirty appended records to stable storage.

@@ -25,19 +25,19 @@ func TestHeadlineRegression(t *testing.T) {
 	}
 	cases := map[string]expect{
 		"Appx": {
-			run:  func() (*faircache.Result, error) { return faircache.Approximate(topo, 9, 5, nil) },
+			run:  func() (*faircache.Result, error) { return runAlg(faircache.AlgorithmApprox, topo, 9, 5, nil) },
 			gini: 0.30, fairness75: 0.58, total: 2618,
 		},
 		"Dist": {
-			run:  func() (*faircache.Result, error) { return faircache.Distribute(topo, 9, 5, nil) },
+			run:  func() (*faircache.Result, error) { return runAlg(faircache.AlgorithmDistributed, topo, 9, 5, nil) },
 			gini: 0.40, fairness75: 0.50, total: 2515,
 		},
 		"Hopc": {
-			run:  func() (*faircache.Result, error) { return faircache.HopCountBaseline(topo, 9, 5, nil) },
+			run:  func() (*faircache.Result, error) { return runAlg(faircache.AlgorithmHopCount, topo, 9, 5, nil) },
 			gini: 0.97, fairness75: 0.03, total: 3605,
 		},
 		"Cont": {
-			run:  func() (*faircache.Result, error) { return faircache.ContentionBaseline(topo, 9, 5, nil) },
+			run:  func() (*faircache.Result, error) { return runAlg(faircache.AlgorithmContention, topo, 9, 5, nil) },
 			gini: 0.72, fairness75: 0.22, total: 3695,
 		},
 	}

@@ -261,37 +261,45 @@ func TestSolveDeadlineExceeded(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersMatchSolver pins the compatibility contract: the
-// old positional-argument functions must produce exactly what a Solve
-// with a background context produces.
-func TestDeprecatedWrappersMatchSolver(t *testing.T) {
-	topo, err := faircache.Grid(6, 6)
-	if err != nil {
-		t.Fatal(err)
+// TestParseAlgorithm pins the canonical enum: every canonical name
+// round-trips through String, every legacy alias resolves, and unknown
+// names fail with ErrBadArgument.
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]faircache.Algorithm{
+		"Appx": faircache.AlgorithmApprox, "appx": faircache.AlgorithmApprox,
+		"":            faircache.AlgorithmApprox,
+		"approximate": faircache.AlgorithmApprox,
+		"Dist":        faircache.AlgorithmDistributed,
+		"distribute":  faircache.AlgorithmDistributed,
+		"distributed": faircache.AlgorithmDistributed,
+		"Hopc":        faircache.AlgorithmHopCount,
+		"hopcount":    faircache.AlgorithmHopCount,
+		"Cont":        faircache.AlgorithmContention,
+		"contention":  faircache.AlgorithmContention,
+		"Brtf":        faircache.AlgorithmOptimal,
+		"optimal":     faircache.AlgorithmOptimal,
+		"exact":       faircache.AlgorithmOptimal,
+		" BRTF ":      faircache.AlgorithmOptimal, // case + whitespace
 	}
-	solver, err := faircache.NewSolver(topo)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wrappers := map[faircache.Algorithm]func(*faircache.Topology, int, int, *faircache.Options) (*faircache.Result, error){
-		faircache.AlgorithmApprox:     faircache.Approximate,
-		faircache.AlgorithmHopCount:   faircache.HopCountBaseline,
-		faircache.AlgorithmContention: faircache.ContentionBaseline,
-	}
-	for alg, fn := range wrappers {
-		old, err := fn(topo, 9, 5, nil)
-		if err != nil {
-			t.Fatalf("%s wrapper: %v", alg, err)
+	for in, want := range cases {
+		got, err := faircache.ParseAlgorithm(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = (%v, %v), want %v", in, got, err, want)
 		}
-		res, err := solver.Solve(context.Background(), faircache.Request{
-			Producer:  9,
-			Chunks:    5,
-			Algorithm: alg,
-		})
-		if err != nil {
-			t.Fatalf("%s solve: %v", alg, err)
+	}
+	// Canonical names round-trip: Parse(a.String()) == a.
+	for _, a := range []faircache.Algorithm{
+		faircache.AlgorithmApprox, faircache.AlgorithmDistributed,
+		faircache.AlgorithmHopCount, faircache.AlgorithmContention,
+		faircache.AlgorithmOptimal,
+	} {
+		got, err := faircache.ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("round-trip %v: (%v, %v)", a, got, err)
 		}
-		sameResult(t, string(alg), old, res)
+	}
+	if _, err := faircache.ParseAlgorithm("lru"); !errors.Is(err, faircache.ErrBadArgument) {
+		t.Errorf("unknown algorithm err = %v, want ErrBadArgument", err)
 	}
 }
 
