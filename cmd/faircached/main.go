@@ -16,6 +16,8 @@
 //	faircached -load                    # self-driving load-test mode:
 //	                                    # registers a grid, hammers it,
 //	                                    # prints throughput, exits
+//	faircached -pprof                   # also serve net/http/pprof
+//	                                    # profiles under /debug/pprof/
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests drain (up to -drain-timeout), then every
@@ -30,6 +32,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -54,6 +57,7 @@ func main() {
 		snapshotEvery = flag.Int("snapshot-every", 256, "WAL records between full-state snapshots (negative disables)")
 		inspect       = flag.Bool("inspect", false, "print a redacted record listing of -data-dir and exit")
 		coalesceOn    = flag.Bool("coalesce", true, "coalesce concurrent identical solve/report requests onto shared flights")
+		pprofOn       = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 		load          = flag.Bool("load", false, "self-driving load mode: register a grid, run the load generator, print stats, exit")
 		loadMode      = flag.String("load-mode", "mixed", "-load workload: mixed (lookups/publishes/reports) or solve-burst (identical solves, reports coalescing hit rate)")
 		loadGrid      = flag.String("load-grid", "6x6", "grid for -load mode, ROWSxCOLS")
@@ -79,7 +83,7 @@ func main() {
 		DisableCoalescing: !*coalesceOn,
 	}
 	lc := loadConfig{mode: *loadMode, grid: *loadGrid, requests: *loadRequests, workers: *loadWorkers, chunks: *loadChunks}
-	if err := run(*addr, opts, *drainTimeout, *load, lc); err != nil {
+	if err := run(*addr, opts, *drainTimeout, *pprofOn, *load, lc); err != nil {
 		fmt.Fprintln(os.Stderr, "faircached:", err)
 		os.Exit(1)
 	}
@@ -94,7 +98,7 @@ type loadConfig struct {
 	chunks   int
 }
 
-func run(addr string, opts server.Options, drainTimeout time.Duration, load bool, lc loadConfig) error {
+func run(addr string, opts server.Options, drainTimeout time.Duration, pprofOn, load bool, lc loadConfig) error {
 	svc, err := server.New(opts)
 	if err != nil {
 		return err
@@ -102,7 +106,21 @@ func run(addr string, opts server.Options, drainTimeout time.Duration, load bool
 	if opts.DataDir != "" {
 		fmt.Printf("faircached: durable state in %s (fsync=%s)\n", opts.DataDir, opts.Fsync)
 	}
-	httpSrv := &http.Server{Handler: svc}
+	// Profiling is opt-in: the pprof handlers expose internals (heap
+	// contents, goroutine stacks) that have no place on a default deploy.
+	handler := http.Handler(svc)
+	if pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", svc)
+		handler = mux
+		fmt.Println("faircached: pprof profiling enabled on /debug/pprof/")
+	}
+	httpSrv := &http.Server{Handler: handler}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -161,6 +162,40 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if !sawComplete {
 		t.Fatal("daemon never reported graceful shutdown")
+	}
+}
+
+// TestPprofFlag checks the profiling surface is strictly opt-in: with
+// -pprof the daemon serves /debug/pprof/, without it the path 404s and
+// the regular API still answers.
+func TestPprofFlag(t *testing.T) {
+	bin := buildDaemon(t)
+
+	cmd, _, baseURL := startDaemon(t, bin, "-pprof")
+	resp, err := http.Get(baseURL + "/debug/pprof/")
+	if err != nil {
+		_ = cmd.Process.Kill()
+		t.Fatalf("GET /debug/pprof/ with -pprof: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("with -pprof, /debug/pprof/ returned %d, want 200", resp.StatusCode)
+	}
+	if health, err := client.New(baseURL).Healthz(context.Background()); err != nil || health.Status != "ok" {
+		t.Errorf("with -pprof, healthz: %+v err %v (API must still route)", health, err)
+	}
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+
+	cmd, _, baseURL = startDaemon(t, bin)
+	defer func() { _ = cmd.Process.Kill() }()
+	resp, err = http.Get(baseURL + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/ without -pprof: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("without -pprof, /debug/pprof/ returned %d, want 404", resp.StatusCode)
 	}
 }
 

@@ -216,7 +216,7 @@ func distanceMatrixCtx(ctx context.Context, g *graph.Graph, alg Algorithm, p *po
 		if err != nil {
 			return nil, err
 		}
-		return costs.C, nil
+		return costs.Rows(), nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadAlgorithm, int(alg))
 	}
@@ -240,7 +240,7 @@ func distanceMatrixModelCtx(ctx context.Context, m *costmodel.Model, alg Algorit
 		if err != nil {
 			return nil, err
 		}
-		return costs.C, nil
+		return costs.Rows(), nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadAlgorithm, int(alg))
 	}

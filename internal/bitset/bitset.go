@@ -1,0 +1,55 @@
+// Package bitset provides the dense bit sets the solve hot path uses for
+// its ADMIN/TIGHT/SPAN-style node sets. The engine previously tracked these
+// as map[int]struct{} / []bool structures allocated per chunk; a bitset over
+// dense node ids packs the same membership into n/64 words, clears in a
+// handful of memclr instructions (so one set recycles across chunks), and
+// never allocates after the first Grow.
+package bitset
+
+import "math/bits"
+
+// Set is a dense bit set over non-negative integers. The zero value is an
+// empty set; Grow before use (or let the helpers on the owning scratch do
+// it). Methods do not bounds-check: callers index only ids < the grown
+// capacity, matching the dense node-id contract of the solver layers.
+type Set []uint64
+
+// New returns a set with capacity for ids in [0, n).
+func New(n int) Set { return make(Set, (n+63)/64) }
+
+// Grow returns a set with capacity for ids in [0, n), reusing s's storage
+// when it is already large enough. The returned set is cleared.
+func (s Set) Grow(n int) Set {
+	words := (n + 63) / 64
+	if cap(s) < words {
+		return make(Set, words)
+	}
+	s = s[:words]
+	s.Clear()
+	return s
+}
+
+// Clear removes every member.
+func (s Set) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Has reports whether i is a member.
+func (s Set) Has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Add inserts i.
+func (s Set) Add(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Remove deletes i.
+func (s Set) Remove(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Count returns the number of members.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

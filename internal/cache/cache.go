@@ -7,7 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Errors reported by State mutations.
@@ -105,7 +105,7 @@ func (s *State) Chunks(i int) []int {
 	for n := range s.stored[i] {
 		out = append(out, n)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -17,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
+	"slices"
 
+	"repro/internal/bitset"
 	"repro/internal/pool"
 )
 
@@ -36,13 +38,19 @@ type Instance struct {
 	// the dual growth must treat it as read-only (it does — both cost
 	// inputs are only ever read) and must not retain it past the solve.
 	FacilityCost []float64
-	// ConnCost is the symmetric path contention cost matrix c_ij. Like
-	// FacilityCost it is a read-only borrow from the caller's cost model,
-	// valid for the duration of one solve.
-	ConnCost [][]float64
+	// ConnCost is the symmetric path contention cost matrix c_ij, stored
+	// flat in row-major order with stride N (entry (i, j) at ConnCost[i*N+j]).
+	// Like FacilityCost it is a read-only borrow from the caller's cost
+	// model, valid for the duration of one solve.
+	ConnCost []float64
 	// PreOpen lists nodes already caching the chunk; they behave like the
 	// producer (open facilities with no further opening cost).
 	PreOpen []int
+}
+
+// connRow returns row i of the flat connection cost matrix.
+func (in *Instance) connRow(i int) []float64 {
+	return in.ConnCost[i*in.N : (i+1)*in.N]
 }
 
 // Options tunes the dual-growth process.
@@ -83,7 +91,8 @@ func DefaultOptions() Options {
 	}
 }
 
-// Solution is the outcome of phase 1 for one chunk.
+// Solution is the outcome of phase 1 for one chunk. Its slices are freshly
+// allocated per solve (they outlive the scratch the dual growth ran on).
 type Solution struct {
 	// Facilities is the ADMIN set A: nodes chosen to cache the chunk
 	// (never includes the producer or pre-open nodes), sorted.
@@ -103,20 +112,44 @@ var (
 	ErrNoProgress  = errors.New("confl: dual growth exceeded iteration bound")
 )
 
-// solver carries the mutable dual-growth state.
+// solver carries the mutable dual-growth state. Its buffers live inside a
+// Scratch and recycle across chunks and solves; the per-solve reset is a
+// handful of memclr sweeps. The solver address is stable for the lifetime
+// of its Scratch, so the tick-phase closures bind once and never reallocate.
 type solver struct {
-	inst   Instance
-	opts   Options
-	open   []bool // producer + pre-open + ADMINs
-	admin  []bool
+	inst Instance
+	opts Options
+	// open and admin are mutated only in the sequential opening scan, so
+	// they pack into bitsets; frozen (the TIGHT set) is written by the
+	// parallel freeze phase — distinct demands may share a bitset word, so
+	// it must stay byte-addressed.
+	open   bitset.Set
+	admin  bitset.Set
 	frozen []bool
-	assign []int
+	assign []int32
 	alpha  []float64
-	// gamma[i][j] is demand j's relay (SPAN) bid toward candidate i.
-	gamma [][]float64
+	// gamma holds demand j's relay (SPAN) bid toward candidate i at
+	// gamma[i*N+j] — flat with stride N, cleared per solve.
+	gamma []float64
 	// paidBuf caches Σ_j β_ij per candidate for one tick (α is fixed once
 	// the raise phase ends, so the totals can be precomputed in parallel).
 	paidBuf []float64
+
+	// Hoisted tick-phase closures (allocated once per Scratch, not per
+	// tick): the ForEach fan-outs would otherwise allocate a capture per
+	// tick per phase.
+	freezeFn func(j int)
+	spanFn   func(i int)
+	paidFn   func(i int)
+}
+
+// Scratch owns the reusable dual-growth state of one ConFL solver. A zero
+// Scratch is ready for use; one Scratch serves any number of sequential
+// solves (the per-chunk loop reuses one across all chunks), growing its
+// buffers to the largest instance seen. Concurrent solves need one Scratch
+// each.
+type Scratch struct {
+	s solver
 }
 
 // Solve runs the dual-growth process until every demand is frozen.
@@ -129,6 +162,14 @@ func Solve(inst Instance, opts Options) (*Solution, error) {
 // opts.Pool is set). On cancellation it returns ctx.Err() wrapped so that
 // errors.Is(err, context.Canceled/DeadlineExceeded) holds.
 func SolveCtx(ctx context.Context, inst Instance, opts Options) (*Solution, error) {
+	return SolveScratchCtx(ctx, inst, opts, nil)
+}
+
+// SolveScratchCtx is SolveCtx with the dual-growth state carved out of scr
+// (nil allocates a transient scratch): a warm scratch makes a steady-state
+// solve allocate only its Solution. The result is byte-identical to
+// SolveCtx at any pool width.
+func SolveScratchCtx(ctx context.Context, inst Instance, opts Options, scr *Scratch) (*Solution, error) {
 	if err := validate(inst); err != nil {
 		return nil, err
 	}
@@ -142,12 +183,15 @@ func SolveCtx(ctx context.Context, inst Instance, opts Options) (*Solution, erro
 		opts.SpanQuorum = 1
 	}
 
-	s := newSolver(inst, opts)
+	if scr == nil {
+		scr = &Scratch{}
+	}
+	s := scr.s.reset(inst, opts)
 	maxIter := opts.MaxIterations
 	if maxIter == 0 {
 		maxC := 0.0
-		for j := 0; j < inst.N; j++ {
-			if c := inst.ConnCost[inst.Producer][j]; c > maxC {
+		for _, c := range inst.connRow(inst.Producer) {
+			if c > maxC {
 				maxC = c
 			}
 		}
@@ -165,44 +209,56 @@ func SolveCtx(ctx context.Context, inst Instance, opts Options) (*Solution, erro
 	}
 
 	sol := &Solution{
-		Assign:     s.assign,
-		Alpha:      s.alpha,
+		Assign:     make([]int, inst.N),
+		Alpha:      append([]float64(nil), s.alpha...),
 		Iterations: iter,
 	}
+	for j, a := range s.assign {
+		sol.Assign[j] = int(a)
+	}
 	for i := 0; i < inst.N; i++ {
-		if s.admin[i] {
+		if s.admin.Has(i) {
 			sol.Facilities = append(sol.Facilities, i)
 		}
 	}
-	sort.Ints(sol.Facilities)
+	// Facilities collect in ascending node order already; the sort is kept
+	// as a guard (and documents the ordered contract).
+	slices.Sort(sol.Facilities)
 	return sol, nil
 }
 
-func newSolver(inst Instance, opts Options) *solver {
+// reset binds the solver to a new instance, growing and clearing its
+// buffers. The returned pointer is the scratch-resident solver.
+func (s *solver) reset(inst Instance, opts Options) *solver {
 	n := inst.N
-	s := &solver{
-		inst:   inst,
-		opts:   opts,
-		open:   make([]bool, n),
-		admin:  make([]bool, n),
-		frozen: make([]bool, n),
-		assign: make([]int, n),
-		alpha:  make([]float64, n),
-		gamma:  make([][]float64, n),
-	}
+	s.inst = inst
+	s.opts = opts
+	s.open = s.open.Grow(n)
+	s.admin = s.admin.Grow(n)
+	s.frozen = growBools(s.frozen, n)
+	s.assign = growInt32(s.assign, n)
+	s.alpha = growFloats(s.alpha, n)
+	s.gamma = growFloats(s.gamma, n*n)
+	s.paidBuf = growFloats(s.paidBuf, n)
 	for j := range s.assign {
 		s.assign[j] = -1
 	}
-	for i := range s.gamma {
-		s.gamma[i] = make([]float64, n)
-	}
-	s.open[inst.Producer] = true
+	s.open.Add(inst.Producer)
 	s.frozen[inst.Producer] = true
-	s.assign[inst.Producer] = inst.Producer
+	s.assign[inst.Producer] = int32(inst.Producer)
 	for _, v := range inst.PreOpen {
-		s.open[v] = true
+		s.open.Add(v)
 		s.frozen[v] = true
-		s.assign[v] = v
+		s.assign[v] = int32(v)
+	}
+	if s.freezeFn == nil {
+		s.freezeFn = func(j int) { s.freezeDemand(j) }
+		s.spanFn = func(i int) { s.raiseSpan(i) }
+		s.paidFn = func(i int) {
+			if s.isCandidate(i) {
+				s.paidBuf[i] = s.paid(i)
+			}
+		}
 	}
 	return s
 }
@@ -229,35 +285,19 @@ func (s *solver) tick(ctx context.Context) error {
 	// frozen demand's α stops growing, its contribution max(0, α_j − c_ij)
 	// to still-unopened candidates is automatically snapshotted. Each
 	// demand j reads the fixed open set and writes frozen[j]/assign[j].
-	if err := p.ForEach(ctx, n, func(j int) { s.freezeDemand(j) }); err != nil {
+	if err := p.ForEach(ctx, n, s.freezeFn); err != nil {
 		return err
 	}
 
 	// Raise relay (SPAN) bids toward candidates the demand is tight with.
 	// Per-candidate row i of γ; frozen[] is fixed for the rest of the tick.
-	if err := p.ForEach(ctx, n, func(i int) {
-		if !s.isCandidate(i) {
-			return
-		}
-		for j := 0; j < n; j++ {
-			if !s.frozen[j] && s.alpha[j] >= inst.ConnCost[i][j] {
-				s.gamma[i][j] += s.opts.GammaStep
-			}
-		}
-	}); err != nil {
+	if err := p.ForEach(ctx, n, s.spanFn); err != nil {
 		return err
 	}
 
 	// β totals depend only on α, which no longer moves this tick, so they
 	// can be precomputed in parallel before the sequential opening scan.
-	if s.paidBuf == nil {
-		s.paidBuf = make([]float64, n)
-	}
-	if err := p.ForEach(ctx, n, func(i int) {
-		if s.isCandidate(i) {
-			s.paidBuf[i] = s.paid(i)
-		}
-	}); err != nil {
+	if err := p.ForEach(ctx, n, s.paidFn); err != nil {
 		return err
 	}
 
@@ -274,19 +314,35 @@ func (s *solver) tick(ctx context.Context) error {
 	return nil
 }
 
+// raiseSpan advances candidate i's relay-bid row for the demands tight with
+// it (the SPAN phase of one tick). It writes only row i of γ.
+func (s *solver) raiseSpan(i int) {
+	if !s.isCandidate(i) {
+		return
+	}
+	conn := s.inst.connRow(i)
+	gamma := s.gamma[i*s.inst.N : (i+1)*s.inst.N]
+	for j := 0; j < s.inst.N; j++ {
+		if !s.frozen[j] && s.alpha[j] >= conn[j] {
+			gamma[j] += s.opts.GammaStep
+		}
+	}
+}
+
 // isCandidate reports whether node i can still become a caching facility.
 func (s *solver) isCandidate(i int) bool {
-	return !s.open[i] && i != s.inst.Producer && !math.IsInf(s.inst.FacilityCost[i], 1)
+	return !s.open.Has(i) && i != s.inst.Producer && !math.IsInf(s.inst.FacilityCost[i], 1)
 }
 
 // paid returns Σ_j β_ij, the total contribution toward i's opening cost.
 func (s *solver) paid(i int) float64 {
 	total := 0.0
+	conn := s.inst.connRow(i)
 	for j := 0; j < s.inst.N; j++ {
 		if j == s.inst.Producer {
 			continue
 		}
-		if b := s.alpha[j] - s.inst.ConnCost[i][j]; b > 0 {
+		if b := s.alpha[j] - conn[j]; b > 0 {
 			total += b
 		}
 	}
@@ -298,11 +354,13 @@ func (s *solver) paid(i int) float64 {
 // own zero-cost entry does not count: support must come from peers.
 func (s *solver) spanCount(i int) int {
 	count := 0
+	conn := s.inst.connRow(i)
+	gamma := s.gamma[i*s.inst.N : (i+1)*s.inst.N]
 	for j := 0; j < s.inst.N; j++ {
 		if s.frozen[j] || j == i {
 			continue
 		}
-		if c := s.inst.ConnCost[i][j]; s.gamma[i][j] >= c && c > 0 {
+		if c := conn[j]; gamma[j] >= c && c > 0 {
 			count++
 		}
 	}
@@ -312,35 +370,47 @@ func (s *solver) spanCount(i int) int {
 // openAdmin promotes candidate i to an ADMIN caching node and freezes its
 // supporters onto it.
 func (s *solver) openAdmin(i int) {
-	s.open[i] = true
-	s.admin[i] = true
+	s.open.Add(i)
+	s.admin.Add(i)
 	if !s.frozen[i] {
 		s.frozen[i] = true
-		s.assign[i] = i
+		s.assign[i] = int32(i)
 	}
+	conn := s.inst.connRow(i)
+	gamma := s.gamma[i*s.inst.N : (i+1)*s.inst.N]
 	for j := 0; j < s.inst.N; j++ {
 		if s.frozen[j] {
 			continue
 		}
-		if s.alpha[j] >= s.inst.ConnCost[i][j] || s.gamma[i][j] >= s.inst.ConnCost[i][j] {
+		if s.alpha[j] >= conn[j] || gamma[j] >= conn[j] {
 			s.frozen[j] = true
-			s.assign[j] = i
+			s.assign[j] = int32(i)
 		}
 	}
 }
 
 // freezeDemand connects demand j to the cheapest open facility its α
 // covers, if any. It touches only j's slots, so distinct demands can be
-// frozen concurrently against a fixed open set.
+// frozen concurrently against a fixed open set. The scan walks the set
+// bits of the open bitset in ascending node order (the open set is a
+// handful of nodes, so this replaces n strided matrix loads with |open|),
+// with the same strict < tie-break as a full ascending sweep.
 func (s *solver) freezeDemand(j int) {
 	if s.frozen[j] {
 		return
 	}
-	best := -1
+	best := int32(-1)
 	bestC := math.Inf(1)
-	for i := 0; i < s.inst.N; i++ {
-		if s.open[i] && s.alpha[j] >= s.inst.ConnCost[i][j] && s.inst.ConnCost[i][j] < bestC {
-			best, bestC = i, s.inst.ConnCost[i][j]
+	aj := s.alpha[j]
+	n := s.inst.N
+	for wi, word := range s.open {
+		base := wi * 64
+		for word != 0 {
+			i := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			if c := s.inst.ConnCost[i*n+j]; aj >= c && c < bestC {
+				best, bestC = int32(i), c
+			}
 		}
 	}
 	if best >= 0 {
@@ -358,6 +428,40 @@ func (s *solver) anyActive() bool {
 	return false
 }
 
+// growBools returns a cleared bool slice of length n, reusing b's storage
+// when possible.
+func growBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// growInt32 returns an int32 slice of length n, reusing storage (contents
+// undefined; callers overwrite).
+func growInt32(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+// growFloats returns a zeroed float64 slice of length n, reusing storage.
+func growFloats(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
 func validate(inst Instance) error {
 	if inst.N <= 0 {
 		return fmt.Errorf("%w: N = %d", ErrBadInstance, inst.N)
@@ -368,16 +472,11 @@ func validate(inst Instance) error {
 	if len(inst.FacilityCost) != inst.N {
 		return fmt.Errorf("%w: facility cost length %d != N %d", ErrBadInstance, len(inst.FacilityCost), inst.N)
 	}
-	if len(inst.ConnCost) != inst.N {
-		return fmt.Errorf("%w: connection cost rows %d != N %d", ErrBadInstance, len(inst.ConnCost), inst.N)
+	if len(inst.ConnCost) != inst.N*inst.N {
+		return fmt.Errorf("%w: connection cost matrix length %d != N² %d", ErrBadInstance, len(inst.ConnCost), inst.N*inst.N)
 	}
-	for i, row := range inst.ConnCost {
-		if len(row) != inst.N {
-			return fmt.Errorf("%w: connection cost row %d length %d != N %d", ErrBadInstance, i, len(row), inst.N)
-		}
-	}
-	for j := 0; j < inst.N; j++ {
-		if math.IsInf(inst.ConnCost[inst.Producer][j], 1) {
+	for j, c := range inst.connRow(inst.Producer) {
+		if math.IsInf(c, 1) {
 			return fmt.Errorf("%w: node %d unreachable from producer", ErrBadInstance, j)
 		}
 	}

@@ -49,7 +49,7 @@ func TestSolveValidation(t *testing.T) {
 		{name: "bad cost rows", mutate: func(in Instance) Instance { in.ConnCost = in.ConnCost[:1]; return in }},
 		{name: "bad pre-open", mutate: func(in Instance) Instance { in.PreOpen = []int{9}; return in }},
 		{name: "unreachable node", mutate: func(in Instance) Instance {
-			in.ConnCost[0][3] = math.Inf(1)
+			in.ConnCost[0*in.N+3] = math.Inf(1)
 			return in
 		}},
 	}
@@ -266,7 +266,7 @@ func TestSolveProperties(t *testing.T) {
 			}
 			// α_j never exceeds the producer connection cost by more
 			// than one step: once it covers the producer, j freezes.
-			if sol.Alpha[j] > inst.ConnCost[producer][j]+opts.AlphaStep+1e-9 {
+			if sol.Alpha[j] > inst.ConnCost[producer*inst.N+j]+opts.AlphaStep+1e-9 {
 				return false
 			}
 		}

@@ -14,14 +14,11 @@ import (
 // nodes and a few storage-full (+Inf facility cost) nodes.
 func randomInstance(seed int64, n int) Instance {
 	rng := rand.New(rand.NewSource(seed))
-	conn := make([][]float64, n)
-	for i := range conn {
-		conn[i] = make([]float64, n)
-	}
+	conn := make([]float64, n*n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			c := 1 + 30*rng.Float64()
-			conn[i][j], conn[j][i] = c, c
+			conn[i*n+j], conn[j*n+i] = c, c
 		}
 	}
 	fc := make([]float64, n)

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // SolveGreedy solves the same per-chunk ConFL instance with a greedy
@@ -48,8 +48,8 @@ func SolveGreedyCtx(ctx context.Context, inst Instance, opts Options) (*Solution
 		best[j] = math.Inf(1)
 		assign[j] = -1
 		for i := 0; i < n; i++ {
-			if open[i] && inst.ConnCost[i][j] < best[j] {
-				best[j] = inst.ConnCost[i][j]
+			if c := inst.ConnCost[i*n+j]; open[i] && c < best[j] {
+				best[j] = c
 				assign[j] = i
 			}
 		}
@@ -66,9 +66,10 @@ func SolveGreedyCtx(ctx context.Context, inst Instance, opts Options) (*Solution
 			if open[i] || i == inst.Producer || math.IsInf(inst.FacilityCost[i], 1) {
 				return
 			}
+			conn := inst.connRow(i)
 			savings := 0.0
 			for j := 0; j < n; j++ {
-				if d := best[j] - inst.ConnCost[i][j]; d > 0 {
+				if d := best[j] - conn[j]; d > 0 {
 					savings += d
 				}
 			}
@@ -76,8 +77,8 @@ func SolveGreedyCtx(ctx context.Context, inst Instance, opts Options) (*Solution
 			// the currently open set.
 			connect := math.Inf(1)
 			for k := 0; k < n; k++ {
-				if open[k] && inst.ConnCost[i][k] < connect {
-					connect = inst.ConnCost[i][k]
+				if open[k] && conn[k] < connect {
+					connect = conn[k]
 				}
 			}
 			gains[i] = savings - inst.FacilityCost[i] - connect
@@ -96,15 +97,16 @@ func SolveGreedyCtx(ctx context.Context, inst Instance, opts Options) (*Solution
 		}
 		open[bestNode] = true
 		facilities = append(facilities, bestNode)
+		conn := inst.connRow(bestNode)
 		for j := 0; j < n; j++ {
-			if c := inst.ConnCost[bestNode][j]; c < best[j] {
+			if c := conn[j]; c < best[j] {
 				best[j] = c
 				assign[j] = bestNode
 			}
 		}
 	}
 
-	sort.Ints(facilities)
+	slices.Sort(facilities)
 	return &Solution{
 		Facilities: facilities,
 		Assign:     assign,

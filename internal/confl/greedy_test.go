@@ -34,7 +34,7 @@ func TestSolveGreedyAssignsEveryone(t *testing.T) {
 		if !openSet[a] {
 			t.Errorf("Assign[%d] = %d not open", j, a)
 		}
-		if inst.ConnCost[a][j] != sol.Alpha[j] {
+		if inst.ConnCost[a*inst.N+j] != sol.Alpha[j] {
 			t.Errorf("Assign[%d] not the recorded best cost", j)
 		}
 	}
@@ -94,9 +94,9 @@ func TestGreedyVersusPrimalDualObjective(t *testing.T) {
 				if j == producer {
 					continue
 				}
-				best := inst.ConnCost[producer][j]
+				best := inst.ConnCost[producer*inst.N+j]
 				for _, f := range sol.Facilities {
-					if c := inst.ConnCost[f][j]; c < best {
+					if c := inst.ConnCost[f*inst.N+j]; c < best {
 						best = c
 					}
 				}

@@ -33,14 +33,45 @@ func Weights(g *graph.Graph, st *cache.State) []float64 {
 
 // Costs is the all-pairs Path Contention Cost matrix c_ij of Eq. (2),
 // computed over hop-shortest paths (cheapest among equal-hop paths), along
-// with predecessor matrices for path reconstruction.
+// with predecessor matrices for path reconstruction. Both matrices are
+// stored flat in row-major order with stride N, so a refresh that reuses
+// the storage is a copy over two allocations and borrowed views stay
+// read-only slices into one backing array.
 type Costs struct {
-	// C[i][j] is the contention cost of j fetching a chunk from i
+	// N is the matrix dimension (nodes per side).
+	N int
+	// C holds the contention cost of j fetching a chunk from i at C[i*N+j]
 	// (symmetric; 0 on the diagonal; +Inf for disconnected pairs).
-	C [][]float64
-	// Pred[i][j] is j's predecessor on the chosen path from i (-1 when
-	// j == i or j is unreachable from i).
-	Pred [][]int
+	C []float64
+	// Pred holds j's predecessor on the chosen path from i at Pred[i*N+j]
+	// (-1 when j == i or j is unreachable from i).
+	Pred []int32
+}
+
+// NewCosts returns a zeroed flat cost/pred matrix pair of dimension n.
+func NewCosts(n int) *Costs {
+	return &Costs{N: n, C: make([]float64, n*n), Pred: make([]int32, n*n)}
+}
+
+// At returns c_ij.
+func (c *Costs) At(i, j int) float64 { return c.C[i*c.N+j] }
+
+// Row returns row i of the cost matrix as a read-only view.
+func (c *Costs) Row(i int) []float64 { return c.C[i*c.N : (i+1)*c.N] }
+
+// PredRow returns row i of the predecessor matrix as a read-only view.
+func (c *Costs) PredRow(i int) []int32 { return c.Pred[i*c.N : (i+1)*c.N] }
+
+// Rows materialises row-header views over the flat cost matrix for the
+// off-hot-path consumers that index [][]float64 (baseline selection, the
+// exact search, metrics). The headers alias the flat storage, so the borrow
+// stays read-only.
+func (c *Costs) Rows() [][]float64 {
+	rows := make([][]float64, c.N)
+	for i := range rows {
+		rows[i] = c.Row(i)
+	}
+	return rows
 }
 
 // ComputeCosts evaluates Eq. (2) for every node pair under the given cache
@@ -48,12 +79,11 @@ type Costs struct {
 func ComputeCosts(g *graph.Graph, st *cache.State) *Costs {
 	n := g.NumNodes()
 	w := Weights(g, st)
-	c := &Costs{
-		C:    make([][]float64, n),
-		Pred: make([][]int, n),
-	}
+	c := NewCosts(n)
 	for i := 0; i < n; i++ {
-		c.C[i], c.Pred[i] = g.NodeCostPaths(i, w)
+		cost, pred := g.NodeCostPaths(i, w)
+		copy(c.Row(i), cost)
+		copy(c.PredRow(i), pred)
 	}
 	return c
 }
@@ -66,15 +96,14 @@ func ComputeCosts(g *graph.Graph, st *cache.State) *Costs {
 func ComputeCostsCtx(ctx context.Context, g *graph.Graph, st *cache.State, pc *graph.PathCache, p *pool.Pool) (*Costs, error) {
 	n := g.NumNodes()
 	w := Weights(g, st)
-	c := &Costs{
-		C:    make([][]float64, n),
-		Pred: make([][]int, n),
-	}
+	c := NewCosts(n)
 	err := p.ForEach(ctx, n, func(i int) {
 		if pc != nil {
-			c.C[i], c.Pred[i] = pc.NodeCostPaths(i, w)
+			pc.NodeCostPathsInto(i, w, c.Row(i), c.PredRow(i))
 		} else {
-			c.C[i], c.Pred[i] = g.NodeCostPaths(i, w)
+			cost, pred := g.NodeCostPaths(i, w)
+			copy(c.Row(i), cost)
+			copy(c.PredRow(i), pred)
 		}
 	})
 	if err != nil {
@@ -83,10 +112,10 @@ func ComputeCostsCtx(ctx context.Context, g *graph.Graph, st *cache.State, pc *g
 	return c, nil
 }
 
-// Path returns the node sequence of the path underlying C[i][j], including
+// Path returns the node sequence of the path underlying c_ij, including
 // both endpoints, or nil when unreachable.
 func (c *Costs) Path(i, j int) []int {
-	return graph.PathTo(c.Pred[i], i, j)
+	return graph.PathTo(c.PredRow(i), i, j)
 }
 
 // EdgeCost returns c_e for the edge {u, v}: the contention cost of the

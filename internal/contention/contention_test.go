@@ -49,11 +49,11 @@ func TestComputeCostsPathOnLine(t *testing.T) {
 	st := cache.NewState(3, 5)
 	c := ComputeCosts(g, st)
 	// c_02 = w0 + w1 + w2 = 1 + 2 + 1 = 4.
-	if c.C[0][2] != 4 {
-		t.Errorf("C[0][2] = %g, want 4", c.C[0][2])
+	if c.At(0, 2) != 4 {
+		t.Errorf("C[0][2] = %g, want 4", c.At(0, 2))
 	}
-	if c.C[0][0] != 0 {
-		t.Errorf("C[0][0] = %g, want 0", c.C[0][0])
+	if c.At(0, 0) != 0 {
+		t.Errorf("C[0][0] = %g, want 0", c.At(0, 0))
 	}
 	if got := c.Path(0, 2); len(got) != 3 || got[1] != 1 {
 		t.Errorf("Path(0,2) = %v, want [0 1 2]", got)
@@ -69,8 +69,8 @@ func TestComputeCostsSymmetricAndCachedInflation(t *testing.T) {
 	// Symmetry under both states.
 	for i := 0; i < 9; i++ {
 		for j := 0; j < 9; j++ {
-			if math.Abs(before.C[i][j]-before.C[j][i]) > 1e-9 {
-				t.Fatalf("asymmetric cost before: C[%d][%d]=%g C[%d][%d]=%g", i, j, before.C[i][j], j, i, before.C[j][i])
+			if math.Abs(before.At(i, j)-before.At(j, i)) > 1e-9 {
+				t.Fatalf("asymmetric cost before: C[%d][%d]=%g C[%d][%d]=%g", i, j, before.At(i, j), j, i, before.At(j, i))
 			}
 		}
 	}
@@ -78,15 +78,15 @@ func TestComputeCostsSymmetricAndCachedInflation(t *testing.T) {
 	// or the boundary; the cheapest route should never get cheaper.
 	for i := 0; i < 9; i++ {
 		for j := 0; j < 9; j++ {
-			if after.C[i][j] < before.C[i][j]-1e-9 {
-				t.Fatalf("caching decreased cost: C[%d][%d] %g -> %g", i, j, before.C[i][j], after.C[i][j])
+			if after.At(i, j) < before.At(i, j)-1e-9 {
+				t.Fatalf("caching decreased cost: C[%d][%d] %g -> %g", i, j, before.At(i, j), after.At(i, j))
 			}
 		}
 	}
 	// The direct 1->4 cost includes the inflated center weight.
 	// c_14 = w1 + w4 = 3·1 + 4·2 = 11.
-	if after.C[1][4] != 11 {
-		t.Errorf("C[1][4] after caching = %g, want 11", after.C[1][4])
+	if after.At(1, 4) != 11 {
+		t.Errorf("C[1][4] after caching = %g, want 11", after.At(1, 4))
 	}
 }
 
@@ -156,14 +156,14 @@ func TestCostMatrixProperties(t *testing.T) {
 		w := Weights(g, st)
 		c := ComputeCosts(g, st)
 		for i := 0; i < n; i++ {
-			if c.C[i][i] != 0 {
+			if c.At(i, i) != 0 {
 				return false
 			}
 			for j := 0; j < n; j++ {
-				if c.C[i][j] < 0 {
+				if c.At(i, j) < 0 {
 					return false
 				}
-				if math.Abs(c.C[i][j]-c.C[j][i]) > 1e-9 {
+				if math.Abs(c.At(i, j)-c.At(j, i)) > 1e-9 {
 					return false
 				}
 				if i == j {
@@ -174,7 +174,7 @@ func TestCostMatrixProperties(t *testing.T) {
 				for _, v := range path {
 					sum += w[v]
 				}
-				if math.Abs(sum-c.C[i][j]) > 1e-9 {
+				if math.Abs(sum-c.At(i, j)) > 1e-9 {
 					return false
 				}
 			}

@@ -31,13 +31,13 @@ func TestComputeCostsCtxMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i := range want.C {
-			for j := range want.C[i] {
-				if math.Float64bits(want.C[i][j]) != math.Float64bits(got.C[i][j]) {
-					t.Fatalf("cached=%v C[%d][%d] = %v, want %v", cached != nil, i, j, got.C[i][j], want.C[i][j])
+		for i := 0; i < want.N; i++ {
+			for j := 0; j < want.N; j++ {
+				if math.Float64bits(want.At(i, j)) != math.Float64bits(got.At(i, j)) {
+					t.Fatalf("cached=%v C[%d][%d] = %v, want %v", cached != nil, i, j, got.At(i, j), want.At(i, j))
 				}
-				if want.Pred[i][j] != got.Pred[i][j] {
-					t.Fatalf("cached=%v Pred[%d][%d] = %d, want %d", cached != nil, i, j, got.Pred[i][j], want.Pred[i][j])
+				if want.PredRow(i)[j] != got.PredRow(i)[j] {
+					t.Fatalf("cached=%v Pred[%d][%d] = %d, want %d", cached != nil, i, j, got.PredRow(i)[j], want.PredRow(i)[j])
 				}
 			}
 		}

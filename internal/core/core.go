@@ -68,6 +68,13 @@ type Options struct {
 	// service does, one per request — pass a shared cache so the BFS layer
 	// structure is computed once. nil creates a private cache.
 	PathCache *graph.PathCache
+	// Scratch, when non-nil, supplies the arena pool the solve borrows its
+	// per-chunk scratch buffers from (ConFL dual-growth state, Steiner path
+	// rows, staging slices). The root solver passes its own long-lived pool
+	// so arenas recycle across requests; nil falls back to a process-wide
+	// default pool. Either way a steady-state chunk placement performs
+	// near-zero heap allocations.
+	Scratch *ScratchPool
 }
 
 // DefaultOptions returns the configuration used in the paper's evaluation.
@@ -239,6 +246,8 @@ func (s *Solver) PlaceModelCtx(ctx context.Context, producer, chunks int, m *cos
 
 	pl := pool.New(s.effectiveWorkers())
 	defer pl.Close()
+	scr := s.opts.Scratch.get()
+	defer s.opts.Scratch.put(scr)
 
 	placement := &Placement{
 		Producer: producer,
@@ -248,7 +257,7 @@ func (s *Solver) PlaceModelCtx(ctx context.Context, producer, chunks int, m *cos
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("chunk %d: %w", n, err)
 		}
-		res, err := s.placeChunk(ctx, producer, n, m, pl)
+		res, err := s.placeChunk(ctx, producer, n, m, pl, scr)
 		if err != nil {
 			return nil, fmt.Errorf("chunk %d: %w", n, err)
 		}
@@ -311,15 +320,19 @@ func (s *Solver) PlaceOneModelCtx(ctx context.Context, producer, chunkID int, m 
 	}
 	pl := pool.New(s.effectiveWorkers())
 	defer pl.Close()
-	return s.placeChunk(ctx, producer, chunkID, m, pl)
+	scr := s.opts.Scratch.get()
+	defer s.opts.Scratch.put(scr)
+	return s.placeChunk(ctx, producer, chunkID, m, pl, scr)
 }
 
 // effectiveWorkers maps Options.Workers onto a pool width: 0 means
 // GOMAXPROCS, anything below 1 means the sequential path.
 func (s *Solver) effectiveWorkers() int { return pool.Normalize(s.opts.Workers) }
 
-// placeChunk runs one iteration of Algorithm 1 for chunk n.
-func (s *Solver) placeChunk(ctx context.Context, producer, n int, m *costmodel.Model, pl *pool.Pool) (*ChunkResult, error) {
+// placeChunk runs one iteration of Algorithm 1 for chunk n, borrowing
+// every transient buffer from scr so a steady-state iteration allocates
+// only its ChunkResult.
+func (s *Solver) placeChunk(ctx context.Context, producer, n int, m *costmodel.Model, pl *pool.Pool, scr *SolveScratch) (*ChunkResult, error) {
 	if hook := s.opts.ChunkStarted; hook != nil {
 		hook(n)
 	}
@@ -327,13 +340,15 @@ func (s *Solver) placeChunk(ctx context.Context, producer, n int, m *costmodel.M
 	// Lines 5-16: refresh fairness and contention costs from the state.
 	// The model repairs only the entries the previous chunk's commits
 	// dirtied; the first call on a cold model pays the one full build.
-	fc := m.FacilityCosts(producer)
+	scr.fc = m.FacilityCostsInto(producer, scr.fc)
+	fc := scr.fc
 	costs, err := m.CostsCtx(ctx, pl)
 	if err != nil {
 		return nil, err
 	}
 
-	// Phase 1 (lines 17-46): per-chunk ConFL.
+	// Phase 1 (lines 17-46): per-chunk ConFL. The instance borrows the
+	// model's flat cost views read-only for the duration of the solve.
 	inst := confl.Instance{
 		N:            s.g.NumNodes(),
 		Producer:     producer,
@@ -346,7 +361,7 @@ func (s *Solver) placeChunk(ctx context.Context, producer, n int, m *costmodel.M
 	if s.opts.Strategy == Greedy {
 		sol, err = confl.SolveGreedyCtx(ctx, inst, copts)
 	} else {
-		sol, err = confl.SolveCtx(ctx, inst, copts)
+		sol, err = confl.SolveScratchCtx(ctx, inst, copts, &scr.confl)
 	}
 	if err != nil {
 		return nil, err
@@ -365,20 +380,21 @@ func (s *Solver) placeChunk(ctx context.Context, producer, n int, m *costmodel.M
 	}
 	for j := 0; j < s.g.NumNodes(); j++ {
 		if j != producer {
-			res.Access += costs.C[sol.Assign[j]][j]
+			res.Access += costs.At(sol.Assign[j], j)
 		}
 	}
 
 	// Phase 2 (line 47): Steiner tree connecting ADMIN set and producer.
 	if len(sol.Facilities) > 0 {
-		terminals := append(append([]int(nil), sol.Facilities...), producer)
+		scr.terminals = append(append(scr.terminals[:0], sol.Facilities...), producer)
+		terminals := scr.terminals
 		edgeCost := m.EdgeCostFunc()
-		tree, err := steiner.MSTApproxCtx(ctx, s.g, edgeCost, terminals, pl)
+		tree, err := steiner.MSTApproxScratchCtx(ctx, s.g, edgeCost, terminals, pl, &scr.steiner)
 		if err != nil {
 			return nil, err
 		}
 		if s.opts.ImproveSteiner {
-			tree = steiner.Improve(s.g, edgeCost, tree, terminals)
+			tree = steiner.ImproveScratch(s.g, edgeCost, tree, terminals, &scr.steiner)
 		}
 		res.Tree = tree
 		res.Dissemination = tree.Cost

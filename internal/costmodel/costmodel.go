@@ -90,10 +90,12 @@ type Model struct {
 	w    []float64 // current node weights w_k·(1+S(k))
 	fair []float64 // weighted combined fairness cost; +Inf when full
 
-	// Matrix state: rows valid for the weights at the last refresh, plus
-	// the per-node weight deltas accumulated since then.
-	c       [][]float64
-	pred    [][]int
+	// Matrix state: flat row-major matrices (stride N) valid for the
+	// weights at the last refresh, plus the per-node weight deltas
+	// accumulated since then. Flat storage keeps a warm fork to two copy
+	// calls and row views stride-indexed borrows.
+	c       []float64
+	pred    []int32
 	built   bool
 	pending []int // nodes with accumulated deltas, in first-touch order
 	queued  []bool
@@ -289,7 +291,7 @@ func (m *Model) RefreshCtx(ctx context.Context, p *pool.Pool) error {
 	touched := make([]int, n)
 	err := p.ForEach(ctx, n, func(i int) {
 		s := m.scratch.Get().(*graph.RepairScratch)
-		touched[i] = m.pc.RepairNodeCostPaths(i, m.w, changed, m.delta, m.c[i], m.pred[i], s)
+		touched[i] = m.pc.RepairNodeCostPaths(i, m.w, changed, m.delta, m.c[i*n:(i+1)*n], m.pred[i*n:(i+1)*n], s)
 		m.scratch.Put(s)
 	})
 	if err != nil {
@@ -316,15 +318,11 @@ func (m *Model) RefreshCtx(ctx context.Context, p *pool.Pool) error {
 func (m *Model) rebuild(ctx context.Context, p *pool.Pool) error {
 	n := m.g.NumNodes()
 	if m.c == nil {
-		m.c = make([][]float64, n)
-		m.pred = make([][]int, n)
-		for i := 0; i < n; i++ {
-			m.c[i] = make([]float64, n)
-			m.pred[i] = make([]int, n)
-		}
+		m.c = make([]float64, n*n)
+		m.pred = make([]int32, n*n)
 	}
 	err := p.ForEach(ctx, n, func(i int) {
-		m.pc.NodeCostPathsInto(i, m.w, m.c[i], m.pred[i])
+		m.pc.NodeCostPathsInto(i, m.w, m.c[i*n:(i+1)*n], m.pred[i*n:(i+1)*n])
 	})
 	if err != nil {
 		return err
@@ -351,18 +349,28 @@ func (m *Model) CostsCtx(ctx context.Context, p *pool.Pool) (*contention.Costs, 
 	if err := m.RefreshCtx(ctx, p); err != nil {
 		return nil, err
 	}
-	return &contention.Costs{C: m.c, Pred: m.pred}, nil
+	return &contention.Costs{N: m.g.NumNodes(), C: m.c, Pred: m.pred}, nil
 }
 
 // FacilityCosts returns a fresh slice of the weighted fairness costs with
 // the producer excluded (+Inf), the facility-cost vector of Algorithm 1's
 // per-chunk ConFL instance.
 func (m *Model) FacilityCosts(producer int) []float64 {
-	fc := append([]float64(nil), m.fair...)
-	if producer >= 0 && producer < len(fc) {
-		fc[producer] = math.Inf(1)
+	return m.FacilityCostsInto(producer, nil)
+}
+
+// FacilityCostsInto is FacilityCosts writing into dst when it has the right
+// length (allocating otherwise), so the per-chunk loop reuses one scratch
+// vector instead of allocating per chunk. It returns the filled slice.
+func (m *Model) FacilityCostsInto(producer int, dst []float64) []float64 {
+	if len(dst) != len(m.fair) {
+		dst = make([]float64, len(m.fair))
 	}
-	return fc
+	copy(dst, m.fair)
+	if producer >= 0 && producer < len(dst) {
+		dst[producer] = math.Inf(1)
+	}
+	return dst
 }
 
 // FairnessCosts returns a fresh copy of the weighted fairness costs with
@@ -435,16 +443,10 @@ func (m *Model) ForkCtx(ctx context.Context, p *pool.Pool, st *cache.State, opts
 			return child, nil
 		}
 	}
-	n := m.g.NumNodes()
-	child.c = make([][]float64, n)
-	child.pred = make([][]int, n)
-	err = p.ForEach(ctx, n, func(i int) {
-		child.c[i] = append([]float64(nil), m.c[i]...)
-		child.pred[i] = append([]int(nil), m.pred[i]...)
-	})
-	if err != nil {
-		return nil, err
-	}
+	// Flat matrices make the warm fork two bulk copies — a pair of
+	// allocations and memmoves instead of 2N row builds.
+	child.c = append([]float64(nil), m.c...)
+	child.pred = append([]int32(nil), m.pred...)
 	child.built = true
 	m.bumpStats(func(st *Stats) { st.WarmForks++ })
 	return child, nil
@@ -459,13 +461,14 @@ func (m *Model) Verify(ctx context.Context, p *pool.Pool) error {
 		return err
 	}
 	fresh := contention.ComputeCosts(m.g, m.st)
-	for i := range m.c {
-		for j := range m.c[i] {
-			if m.c[i][j] != fresh.C[i][j] {
-				return fmt.Errorf("costmodel: C[%d][%d] drifted: incremental %v, fresh %v", i, j, m.c[i][j], fresh.C[i][j])
+	n := m.g.NumNodes()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m.c[i*n+j] != fresh.At(i, j) {
+				return fmt.Errorf("costmodel: C[%d][%d] drifted: incremental %v, fresh %v", i, j, m.c[i*n+j], fresh.At(i, j))
 			}
-			if m.pred[i][j] != fresh.Pred[i][j] {
-				return fmt.Errorf("costmodel: Pred[%d][%d] drifted: incremental %d, fresh %d", i, j, m.pred[i][j], fresh.Pred[i][j])
+			if m.pred[i*n+j] != fresh.Pred[i*n+j] {
+				return fmt.Errorf("costmodel: Pred[%d][%d] drifted: incremental %d, fresh %d", i, j, m.pred[i*n+j], fresh.Pred[i*n+j])
 			}
 		}
 	}

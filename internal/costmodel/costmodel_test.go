@@ -146,11 +146,11 @@ func TestCostsMatchContentionPackage(t *testing.T) {
 			t.Fatalf("%s: CostsCtx: %v", name, err)
 		}
 		want := contention.ComputeCosts(g, st)
-		for i := range want.C {
-			for j := range want.C[i] {
-				if got.C[i][j] != want.C[i][j] || got.Pred[i][j] != want.Pred[i][j] {
+		for i := 0; i < want.N; i++ {
+			for j := 0; j < want.N; j++ {
+				if got.At(i, j) != want.At(i, j) || got.PredRow(i)[j] != want.PredRow(i)[j] {
 					t.Fatalf("%s: cell (%d,%d) differs: C %v vs %v, Pred %d vs %d",
-						name, i, j, got.C[i][j], want.C[i][j], got.Pred[i][j], want.Pred[i][j])
+						name, i, j, got.At(i, j), want.At(i, j), got.PredRow(i)[j], want.PredRow(i)[j])
 				}
 			}
 		}

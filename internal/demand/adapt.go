@@ -1,9 +1,10 @@
 package demand
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cache"
 )
@@ -113,11 +114,13 @@ func (s *System) topChunks(shares, weights []float64) []int {
 		}
 		scores[k] = chunkScore{chunk: k, score: shares[k] * cost}
 	}
-	sort.Slice(scores, func(a, b int) bool {
-		if scores[a].score != scores[b].score {
-			return scores[a].score > scores[b].score
+	// Descending score with ascending chunk id on ties: a strict total
+	// order, so the adaptation set is deterministic across runs.
+	slices.SortFunc(scores, func(a, b chunkScore) int {
+		if a.score != b.score {
+			return cmp.Compare(b.score, a.score)
 		}
-		return scores[a].chunk < scores[b].chunk
+		return cmp.Compare(a.chunk, b.chunk)
 	})
 	n := s.opts.TopDelta
 	if n > len(scores) {

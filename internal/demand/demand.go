@@ -18,7 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/cache"
@@ -435,7 +435,7 @@ func (s *System) Observe(node, chunk int) (server, hops int, err error) {
 // holdersAdd inserts v into chunk k's sorted holder list.
 func (s *System) holdersAdd(k, v int) {
 	h := s.holders[k]
-	i := sort.SearchInts(h, v)
+	i, _ := slices.BinarySearch(h, v)
 	if i < len(h) && h[i] == v {
 		return
 	}
@@ -448,7 +448,7 @@ func (s *System) holdersAdd(k, v int) {
 // holdersRemove deletes v from chunk k's holder list.
 func (s *System) holdersRemove(k, v int) {
 	h := s.holders[k]
-	i := sort.SearchInts(h, v)
+	i, _ := slices.BinarySearch(h, v)
 	if i < len(h) && h[i] == v {
 		s.holders[k] = append(h[:i], h[i+1:]...)
 	}

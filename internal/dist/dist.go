@@ -240,7 +240,7 @@ func (pr *Protocol) runChunk(producer, chunkID int, st *cache.State) (*ChunkRun,
 func (pr *Protocol) roundBound(producer int, st *cache.State) int {
 	costs := contention.ComputeCosts(pr.g, st)
 	maxC := 0.0
-	for j, c := range costs.C[producer] {
+	for j, c := range costs.Row(producer) {
 		if j != producer && c > maxC {
 			maxC = c
 		}

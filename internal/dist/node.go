@@ -2,7 +2,7 @@ package dist
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/sim"
 )
@@ -327,7 +327,7 @@ func (n *node) candidateOrder() []int {
 	for j := range n.conTo {
 		out = append(out, j)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 

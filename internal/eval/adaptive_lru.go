@@ -1,7 +1,7 @@
 package eval
 
 import (
-	"sort"
+	"slices"
 
 	faircache "repro"
 	"repro/internal/metrics"
@@ -59,7 +59,7 @@ func newNaiveLRU(topo *faircache.Topology, producer, chunks, capacity, radius in
 
 func (l *naiveLRU) holdersAdd(k, v int) {
 	h := l.holders[k]
-	i := sort.SearchInts(h, v)
+	i, _ := slices.BinarySearch(h, v)
 	if i < len(h) && h[i] == v {
 		return
 	}
@@ -71,7 +71,7 @@ func (l *naiveLRU) holdersAdd(k, v int) {
 
 func (l *naiveLRU) holdersRemove(k, v int) {
 	h := l.holders[k]
-	i := sort.SearchInts(h, v)
+	i, _ := slices.BinarySearch(h, v)
 	if i < len(h) && h[i] == v {
 		l.holders[k] = append(h[:i], h[i+1:]...)
 	}

@@ -8,11 +8,12 @@
 package exact
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cache"
 	"repro/internal/costmodel"
@@ -148,7 +149,7 @@ func solveChunkModel(ctx context.Context, m *costmodel.Model, producer int, opts
 		Optimal:       proven,
 		Explored:      s.explored,
 	}
-	sort.Ints(sol.Facilities)
+	slices.Sort(sol.Facilities)
 	return sol, nil
 }
 
@@ -196,7 +197,7 @@ func newSearch(ctx context.Context, m *costmodel.Model, producer int, opts Optio
 		producer: producer,
 		opts:     opts,
 		maxSize:  maxSize,
-		conn:     costs.C,
+		conn:     costs.Rows(),
 		edgeCost: m.EdgeCostFunc(),
 		bestCost: math.Inf(1),
 	}
@@ -222,8 +223,10 @@ func newSearch(ctx context.Context, m *costmodel.Model, producer int, opts Optio
 		}
 		savings[i] = total
 	}
-	sort.SliceStable(s.candidates, func(a, b int) bool {
-		return savings[s.candidates[a]] > savings[s.candidates[b]]
+	// Stable: equal-savings candidates keep their ascending-id order,
+	// which the branch-and-bound's deterministic search order relies on.
+	slices.SortStableFunc(s.candidates, func(a, b int) int {
+		return cmp.Compare(savings[b], savings[a])
 	})
 
 	// Suffix minima of connection costs over the branching order.

@@ -44,7 +44,7 @@ func TestSolveChunkValidation(t *testing.T) {
 func naiveOptimal(t *testing.T, g *graph.Graph, st *cache.State, producer int, weight float64) float64 {
 	t.Helper()
 	n := g.NumNodes()
-	conn := contention.ComputeCosts(g, st).C
+	conn := contention.ComputeCosts(g, st).Rows()
 	edge := contention.EdgeCostFunc(g, st)
 	var eligible []int
 	for i := 0; i < n; i++ {

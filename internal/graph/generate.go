@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // NewGrid returns a rows×cols grid network: node r*cols+c connects to its
@@ -180,6 +180,6 @@ func DegreeSequence(g *Graph) []int {
 	for v := range deg {
 		deg[v] = g.Degree(v)
 	}
-	sort.Ints(deg)
+	slices.Sort(deg)
 	return deg
 }

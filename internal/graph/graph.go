@@ -8,9 +8,10 @@
 package graph
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Edge is an undirected edge between nodes U and V with U < V.
@@ -111,11 +112,11 @@ func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, len(g.edges))
 	copy(out, g.edges)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
+	slices.SortFunc(out, func(a, b Edge) int {
+		if a.U != b.U {
+			return cmp.Compare(a.U, b.U)
 		}
-		return out[i].V < out[j].V
+		return cmp.Compare(a.V, b.V)
 	})
 	return out
 }
@@ -136,7 +137,7 @@ func (g *Graph) Clone() *Graph {
 // in increasing original-id order.
 func (g *Graph) InducedSubgraph(keep []int) (*Graph, []int) {
 	orig := append([]int(nil), keep...)
-	sort.Ints(orig)
+	slices.Sort(orig)
 	// Drop duplicates.
 	orig = dedupSortedInts(orig)
 	index := make(map[int]int, len(orig))
@@ -176,7 +177,7 @@ func (g *Graph) Components() [][]int {
 		for _, u := range comp {
 			seen[u] = true
 		}
-		sort.Ints(comp)
+		slices.Sort(comp)
 		comps = append(comps, comp)
 	}
 	return comps
@@ -252,7 +253,7 @@ func (g *Graph) MultiSourceHopDistances(srcs []int) []int {
 		dist[i] = Unreachable
 	}
 	seeds := append([]int(nil), srcs...)
-	sort.Ints(seeds)
+	slices.Sort(seeds)
 	queue := make([]int, 0, len(seeds))
 	for _, s := range seeds {
 		if s < 0 || s >= g.n || dist[s] == 0 {

@@ -114,18 +114,19 @@ func (pc *PathCache) build(src int) *pathEntry {
 // NodeCostPaths is the cached equivalent of Graph.NodeCostPaths: same
 // inputs, byte-identical outputs, but the BFS and ordering work is done at
 // most once per source.
-func (pc *PathCache) NodeCostPaths(src int, weight []float64) (cost []float64, pred []int) {
+func (pc *PathCache) NodeCostPaths(src int, weight []float64) (cost []float64, pred []int32) {
 	n := pc.g.n
 	cost = make([]float64, n)
-	pred = make([]int, n)
+	pred = make([]int32, n)
 	pc.NodeCostPathsInto(src, weight, cost, pred)
 	return cost, pred
 }
 
 // NodeCostPathsInto is NodeCostPaths writing into caller-owned slices (both
 // of length NumNodes), so row storage can be reused across refreshes instead
-// of reallocated. The results are byte-identical to NodeCostPaths.
-func (pc *PathCache) NodeCostPathsInto(src int, weight []float64, cost []float64, pred []int) {
+// of reallocated — the costmodel passes stride-indexed views into its flat
+// matrices. The results are byte-identical to NodeCostPaths.
+func (pc *PathCache) NodeCostPathsInto(src int, weight []float64, cost []float64, pred []int32) {
 	n := pc.g.n
 	for i := 0; i < n; i++ {
 		cost[i] = Infinite
@@ -144,7 +145,7 @@ func (pc *PathCache) NodeCostPathsInto(src int, weight []float64, cost []float64
 			}
 			if c := cost[u] + weight[v]; c < cost[v] {
 				cost[v] = c
-				pred[v] = u
+				pred[v] = int32(u)
 			}
 		}
 	}
@@ -185,7 +186,7 @@ func NewRepairScratch(n int) *RepairScratch {
 // sweep — the costmodel equivalence tests assert exactly that. The caller
 // is responsible for falling back to NodeCostPathsInto when it cannot
 // guarantee that precondition.
-func (pc *PathCache) RepairNodeCostPaths(src int, weight []float64, changed []int, delta []float64, cost []float64, pred []int, s *RepairScratch) int {
+func (pc *PathCache) RepairNodeCostPaths(src int, weight []float64, changed []int, delta []float64, cost []float64, pred []int32, s *RepairScratch) int {
 	n := pc.g.n
 	if src < 0 || src >= n {
 		return 0
@@ -232,7 +233,7 @@ func (pc *PathCache) RepairNodeCostPaths(src int, weight []float64, changed []in
 			// Recompute exactly as the full sweep would: scan previous-layer
 			// neighbors in adjacency order, strict improvement wins — so
 			// tie-breaks (and therefore pred) match byte for byte.
-			newCost, newPred := Infinite, -1
+			newCost, newPred := Infinite, int32(-1)
 			wv := weight[v]
 			for _, u := range pc.g.adj[v] {
 				if e.hop[u] != h-1 {
@@ -248,7 +249,7 @@ func (pc *PathCache) RepairNodeCostPaths(src int, weight []float64, changed []in
 					continue
 				}
 				if c := cu + wv; c < newCost {
-					newCost, newPred = c, u
+					newCost, newPred = c, int32(u)
 				}
 			}
 			touched++

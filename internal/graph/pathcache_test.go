@@ -66,7 +66,7 @@ func TestPathCacheDisconnectedAndBadSource(t *testing.T) {
 	w := []float64{1, 2, 3, 4, 5}
 	for src := -1; src <= 5; src++ {
 		var wantC []float64
-		var wantP []int
+		var wantP []int32
 		if src >= 0 && src < 5 {
 			wantC, wantP = g.NodeCostPaths(src, w)
 		} else {

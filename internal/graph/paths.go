@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -22,9 +21,9 @@ var Infinite = math.Inf(1)
 // The second return value gives, for each destination, a predecessor on the
 // chosen path (-1 for src and unreachable nodes), so the path itself can be
 // reconstructed.
-func (g *Graph) NodeCostPaths(src int, weight []float64) (cost []float64, pred []int) {
+func (g *Graph) NodeCostPaths(src int, weight []float64) (cost []float64, pred []int32) {
 	cost = make([]float64, g.n)
-	pred = make([]int, g.n)
+	pred = make([]int32, g.n)
 	for i := range cost {
 		cost[i] = Infinite
 		pred[i] = -1
@@ -57,7 +56,7 @@ func (g *Graph) NodeCostPaths(src int, weight []float64) (cost []float64, pred [
 				}
 				if c := cost[u] + weight[v]; c < cost[v] {
 					cost[v] = c
-					pred[v] = u
+					pred[v] = int32(u)
 				}
 			}
 		}
@@ -68,8 +67,9 @@ func (g *Graph) NodeCostPaths(src int, weight []float64) (cost []float64, pred [
 
 // PathTo reconstructs the node sequence from the source used to build pred
 // to dst (inclusive of both endpoints). It returns nil if dst is
-// unreachable.
-func PathTo(pred []int, src, dst int) []int {
+// unreachable. Predecessor rows use int32 node ids on the hot path and int
+// elsewhere; both instantiate here.
+func PathTo[T ~int | ~int32](pred []T, src, dst int) []int {
 	if dst < 0 || dst >= len(pred) {
 		return nil
 	}
@@ -80,7 +80,7 @@ func PathTo(pred []int, src, dst int) []int {
 		return nil
 	}
 	var rev []int
-	for v := dst; v != -1; v = pred[v] {
+	for v := dst; v != -1; v = int(pred[v]) {
 		rev = append(rev, v)
 		if v == src {
 			break
@@ -105,51 +105,97 @@ type EdgeWeightFunc func(u, v int) float64
 // distance and predecessor -1.
 func (g *Graph) Dijkstra(src int, w EdgeWeightFunc) (dist []float64, pred []int) {
 	dist = make([]float64, g.n)
+	pred32 := make([]int32, g.n)
+	g.DijkstraInto(src, w, dist, pred32, nil)
 	pred = make([]int, g.n)
+	for i, p := range pred32 {
+		pred[i] = int(p)
+	}
+	return dist, pred
+}
+
+// DijkstraScratch is the reusable priority-queue storage of DijkstraInto.
+// One scratch serves any number of sequential runs; concurrent runs need
+// one scratch each (the steiner fan-out keeps one per pool worker).
+type DijkstraScratch struct {
+	items []distItem
+}
+
+// DijkstraInto is Dijkstra writing into caller-owned rows (both of length
+// NumNodes) with the priority queue borrowed from s (nil allocates a
+// transient one). The heap replicates container/heap's sift order exactly,
+// so distances, predecessors and tie-breaks are byte-identical to Dijkstra
+// — the determinism suites replay placements bit for bit.
+func (g *Graph) DijkstraInto(src int, w EdgeWeightFunc, dist []float64, pred []int32, s *DijkstraScratch) {
 	for i := range dist {
 		dist[i] = Infinite
 		pred[i] = -1
 	}
 	if src < 0 || src >= g.n {
-		return dist, pred
+		return
+	}
+	if s == nil {
+		s = &DijkstraScratch{}
 	}
 	dist[src] = 0
-	pq := &distHeap{items: []distItem{{node: src, dist: 0}}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(distItem)
+	h := s.items[:0]
+	h = append(h, distItem{node: int32(src), dist: 0})
+	for len(h) > 0 {
+		// Pop: swap root with last, sift down over the shrunk heap, take
+		// the detached last element — container/heap.Pop verbatim.
+		n := len(h) - 1
+		h[0], h[n] = h[n], h[0]
+		heapDown(h[:n], 0)
+		it := h[n]
+		h = h[:n]
 		if it.dist > dist[it.node] {
 			continue
 		}
 		for _, v := range g.adj[it.node] {
-			if d := it.dist + w(it.node, v); d < dist[v] {
+			if d := it.dist + w(int(it.node), v); d < dist[v] {
 				dist[v] = d
 				pred[v] = it.node
-				heap.Push(pq, distItem{node: v, dist: d})
+				h = append(h, distItem{node: int32(v), dist: d})
+				heapUp(h, len(h)-1)
 			}
 		}
 	}
-	return dist, pred
+	s.items = h[:0]
 }
 
 type distItem struct {
-	node int
+	node int32
 	dist float64
 }
 
-type distHeap struct {
-	items []distItem
+func heapUp(h []distItem, j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
 }
 
-func (h *distHeap) Len() int           { return len(h.items) }
-func (h *distHeap) Less(i, j int) bool { return h.items[i].dist < h.items[j].dist }
-func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
-func (h *distHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+func heapDown(h []distItem, i int) {
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			return
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].dist < h[j1].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 // FloydWarshallHops computes the all-pairs hop-distance matrix with the

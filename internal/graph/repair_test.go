@@ -24,7 +24,7 @@ func TestRepairNodeCostPaths(t *testing.T) {
 		}
 
 		cost := make([][]float64, n)
-		pred := make([][]int, n)
+		pred := make([][]int32, n)
 		for src := 0; src < n; src++ {
 			cost[src], pred[src] = pc.NodeCostPaths(src, w)
 		}

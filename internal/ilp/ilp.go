@@ -16,7 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cache"
 	"repro/internal/contention"
@@ -121,7 +121,7 @@ func newModel(g *graph.Graph, st *cache.State, producer int, opts Options) *mode
 		g:        g,
 		producer: producer,
 		opts:     opts,
-		conn:     contention.ComputeCosts(g, st).C,
+		conn:     contention.ComputeCosts(g, st).Rows(),
 		edges:    g.Edges(),
 		edgeFunc: contention.EdgeCostFunc(g, st),
 		bestCost: math.Inf(1),
@@ -279,7 +279,7 @@ func (m *model) solve() (*Solution, error) {
 		Nodes:      m.nodesUsed,
 		Cuts:       len(m.cuts),
 	}
-	sort.Ints(out.Facilities)
+	slices.Sort(out.Facilities)
 	return out, nil
 }
 

@@ -6,10 +6,11 @@
 package metrics
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cache"
 	"repro/internal/contention"
@@ -29,7 +30,7 @@ func Gini(counts []int) float64 {
 		return 0
 	}
 	sorted := append([]int(nil), counts...)
-	sort.Ints(sorted)
+	slices.Sort(sorted)
 	var (
 		sum      int64
 		weighted int64
@@ -64,7 +65,7 @@ func PercentileFairness(counts []int, p float64) (float64, error) {
 		return 0, errors.New("metrics: no data cached")
 	}
 	sorted := append([]int(nil), counts...)
-	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	slices.SortFunc(sorted, func(a, b int) int { return cmp.Compare(b, a) }) // descending
 	target := p / 100 * float64(total)
 	cum := 0
 	for k, c := range sorted {
@@ -81,7 +82,7 @@ func PercentileFairness(counts []int, p float64) (float64, error) {
 // ("number of nodes needed to store a certain ratio of all data").
 func StorageCurve(counts []int) []float64 {
 	sorted := append([]int(nil), counts...)
-	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	slices.SortFunc(sorted, func(a, b int) int { return cmp.Compare(b, a) }) // descending
 	total := 0
 	for _, c := range sorted {
 		total += c
@@ -232,14 +233,14 @@ func Evaluate(g *graph.Graph, base *cache.State, producer int, holders [][]int, 
 				continue
 			}
 			src := selector.pick(sources, j)
-			if src < 0 || math.IsInf(costs.C[src][j], 1) {
+			if src < 0 || math.IsInf(costs.At(src, j), 1) {
 				return nil, fmt.Errorf("metrics: node %d cannot reach chunk %d", j, n)
 			}
-			access += costs.C[src][j]
+			access += costs.At(src, j)
 			if src != j {
 				// DIFS per hop node plus T_d times the contention
 				// weight sum — the linearised d(k,c) of Sec. III-C.
-				delay += dcf.DIFS*float64(len(costs.Path(src, j))) + dcf.TData*costs.C[src][j]
+				delay += dcf.DIFS*float64(len(costs.Path(src, j))) + dcf.TData*costs.At(src, j)
 			}
 		}
 		ev.PerChunk[n].Access = access
@@ -280,14 +281,14 @@ func newSelector(g *graph.Graph, base *cache.State, final *contention.Costs, str
 				}
 			}
 		}
-		return &selector{metric: metric, tiebreak: final.C}, nil
+		return &selector{metric: metric, tiebreak: final.Rows()}, nil
 	case AccessTopologyNearest:
 		// Degree-based contention with empty caches: the Contention
 		// baseline's load-oblivious estimate.
 		empty := cache.NewState(g.NumNodes(), 1)
-		return &selector{metric: contention.ComputeCosts(g, empty).C, tiebreak: final.C}, nil
+		return &selector{metric: contention.ComputeCosts(g, empty).Rows(), tiebreak: final.Rows()}, nil
 	case AccessCostNearest:
-		return &selector{metric: final.C}, nil
+		return &selector{metric: final.Rows()}, nil
 	default:
 		return nil, fmt.Errorf("metrics: unknown access strategy %d", int(strategy))
 	}

@@ -10,10 +10,11 @@
 package prom
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"net/http"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -75,7 +76,7 @@ type Histogram struct {
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	// Find the first bucket whose upper bound is >= v.
-	i := sort.SearchFloat64s(h.upper, v)
+	i, _ := slices.BinarySearch(h.upper, v)
 	if i < len(h.counts) {
 		h.counts[i].Add(1)
 	}
@@ -296,7 +297,7 @@ func (r *Registry) Write(b *strings.Builder) {
 		fams[i] = r.families[n]
 	}
 	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	slices.SortFunc(fams, func(a, b *family) int { return cmp.Compare(a.name, b.name) })
 	for _, f := range fams {
 		f.write(b)
 	}

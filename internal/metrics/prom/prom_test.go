@@ -1,10 +1,11 @@
 package prom
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"net/http/httptest"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -279,7 +280,7 @@ func parseHistogram(t *testing.T, out, name string) (sum float64, count uint64, 
 // ordering, and +Inf == _count.
 func checkHistogramInvariants(t *testing.T, sum float64, count uint64, buckets []bucket) {
 	t.Helper()
-	if !sort.SliceIsSorted(buckets, func(i, j int) bool { return buckets[i].bound < buckets[j].bound }) {
+	if !slices.IsSortedFunc(buckets, func(a, b bucket) int { return cmp.Compare(a.bound, b.bound) }) {
 		t.Errorf("bucket bounds not ascending: %+v", buckets)
 	}
 	for i := 1; i < len(buckets); i++ {

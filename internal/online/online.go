@@ -11,7 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -192,7 +192,7 @@ func (s *System) PublishCtx(ctx context.Context) (*Publication, error) {
 				stale = append(stale, id)
 			}
 		}
-		sort.Ints(stale)
+		slices.Sort(stale)
 		for _, id := range stale {
 			for _, holder := range s.st.Holders(id) {
 				s.model.Evict(holder, id)
@@ -259,7 +259,7 @@ func (s *System) Live() []int {
 			out = append(out, id)
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -11,7 +11,7 @@ package partition
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -305,7 +305,7 @@ func fromLabels(g *graph.Graph, labels []int) (*Partition, error) {
 	for v := range boundary {
 		p.Boundary = append(p.Boundary, v)
 	}
-	sort.Ints(p.Boundary)
+	slices.Sort(p.Boundary)
 	return p, nil
 }
 

@@ -1,7 +1,7 @@
 package partition
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -49,7 +49,7 @@ func (p *Partition) Stitch(holders [][]int, opts StitchOptions) ([][]int, Stitch
 	out := make([][]int, len(holders))
 	for n := range holders {
 		out[n] = append([]int(nil), holders[n]...)
-		sort.Ints(out[n])
+		slices.Sort(out[n])
 	}
 	if opts.Halo <= 0 || len(p.Boundary) == 0 {
 		return out, stats
@@ -99,7 +99,7 @@ func serverSet(holders []int, producer int) []int {
 		}
 	}
 	servers = append(servers, producer)
-	sort.Ints(servers)
+	slices.Sort(servers)
 	return servers
 }
 

@@ -157,3 +157,47 @@ func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int)) error {
 	done.Wait()
 	return ctx.Err()
 }
+
+// ForEachW is ForEach with the executing worker's slot index passed to fn
+// (0 ≤ w < Workers()); within one call each concurrently running fn sees a
+// distinct w, so callers can route a per-worker scratch arena through it
+// without locking. The index-to-worker assignment is scheduling-dependent:
+// fn must use w only to pick reusable storage, never to influence results —
+// under that contract output remains byte-identical to the sequential loop.
+func (p *Pool) ForEachW(ctx context.Context, n int, fn func(w, i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(0, i)
+		}
+		return nil
+	}
+
+	var next atomic.Int64
+	var done sync.WaitGroup
+	spawn := p.workers
+	if spawn > n {
+		spawn = n
+	}
+	done.Add(spawn)
+	for w := 0; w < spawn; w++ {
+		w := w
+		p.tasks <- func() {
+			defer done.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}
+	}
+	done.Wait()
+	return ctx.Err()
+}

@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -139,7 +139,7 @@ func (sh *walShadow) state() *WALState {
 	for id := range sh.topos {
 		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
 	for _, id := range ids {
 		st.Topologies = append(st.Topologies, *sh.topos[id])
 	}

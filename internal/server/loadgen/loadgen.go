@@ -18,7 +18,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -307,7 +307,7 @@ func RunSolveBurst(ctx context.Context, cfg SolveBurstConfig) (*SolveBurstStats,
 	}
 	stats.Solves = int64(after.Snapshot.Solves - before.Snapshot.Solves)
 
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	slices.Sort(lats)
 	stats.P50 = percentile(lats, 50)
 	stats.P99 = percentile(lats, 99)
 	return &stats, nil

@@ -1,9 +1,10 @@
 package server
 
 import (
+	"cmp"
 	"fmt"
 	"net/http"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"testing"
@@ -121,7 +122,7 @@ func TestMetricsEndpoint(t *testing.T) {
 			order = append(order, strings.Fields(line)[2])
 		}
 	}
-	if !sort.StringsAreSorted(order) {
+	if !slices.IsSorted(order) {
 		t.Errorf("metric families not sorted: %v", order)
 	}
 }
@@ -159,8 +160,8 @@ func checkServerHistogram(t *testing.T, name string, samples map[string]float64)
 		if labels != "" {
 			suffix = "{" + labels + "}"
 		}
-		sort.Slice(buckets, func(i, j int) bool {
-			return leValue(t, buckets[i].le) < leValue(t, buckets[j].le)
+		slices.SortFunc(buckets, func(a, b bucket) int {
+			return cmp.Compare(leValue(t, a.le), leValue(t, b.le))
 		})
 		prev := -1.0
 		for _, b := range buckets {

@@ -39,7 +39,7 @@ import (
 	"fmt"
 	"net/http"
 	"reflect"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -269,7 +269,7 @@ func (s *Server) ids() []string {
 	for id := range s.topos {
 		out = append(out, id)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

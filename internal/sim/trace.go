@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // Request is one demand event: node Node asks for chunk Chunk. It is the
@@ -114,7 +114,8 @@ func zipfCDF(n int, s float64) []float64 {
 // sample draws one rank from a cumulative distribution.
 func sample(rng *rand.Rand, cdf []float64) int {
 	u := rng.Float64()
-	return sort.SearchFloat64s(cdf, u)
+	i, _ := slices.BinarySearch(cdf, u)
+	return i
 }
 
 // Next returns the next request of the stream. The generator never ends;

@@ -1,7 +1,7 @@
 package steiner
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -16,6 +16,18 @@ import (
 // contention-weighted grids it typically shaves a few percent off the MST
 // 2-approximation.
 func Improve(g *graph.Graph, w graph.EdgeWeightFunc, tree Tree, terminals []int) Tree {
+	return ImproveScratch(g, w, tree, terminals, nil)
+}
+
+// ImproveScratch is Improve with the key-path search's per-node scan
+// buffers (multi-source Dijkstra rows, side membership, degree counts and
+// the union-find) carved out of scr — the same arena the MST construction
+// uses, so the per-chunk loop threads one scratch through both phases. nil
+// allocates a transient scratch; results are identical either way.
+func ImproveScratch(g *graph.Graph, w graph.EdgeWeightFunc, tree Tree, terminals []int, scr *Scratch) Tree {
+	if scr == nil {
+		scr = &Scratch{}
+	}
 	ts := uniqueSorted(terminals)
 	if len(tree.Edges) == 0 || len(ts) <= 1 {
 		return tree
@@ -29,7 +41,7 @@ func Improve(g *graph.Graph, w graph.EdgeWeightFunc, tree Tree, terminals []int)
 	for pass := 0; pass < len(ts)+2; pass++ {
 		improved := false
 		for _, kp := range keyPaths(current, isTerminal) {
-			candidate, gain := tryExchange(g, w, current, kp)
+			candidate, gain := tryExchange(g, w, current, kp, scr)
 			if gain > 1e-9 {
 				current = candidate
 				improved = true
@@ -40,7 +52,7 @@ func Improve(g *graph.Graph, w graph.EdgeWeightFunc, tree Tree, terminals []int)
 			break
 		}
 	}
-	current = pruneLeaves(current, ts)
+	current = scr.pruneLeaves(current, ts, g.NumNodes())
 	cost := 0.0
 	for _, e := range current {
 		cost += w(e.U, e.V)
@@ -55,7 +67,9 @@ type keyPath struct {
 	cost  float64
 }
 
-// keyPaths decomposes the tree into its key paths.
+// keyPaths decomposes the tree into its key paths. The maps here are
+// proportional to the (small) tree, not the graph, and the decomposition
+// runs once per accepted exchange — it is not worth arena treatment.
 func keyPaths(edges []graph.Edge, isTerminal map[int]bool) []keyPath {
 	adj := map[int][]graph.Edge{}
 	deg := map[int]int{}
@@ -75,7 +89,7 @@ func keyPaths(edges []graph.Edge, isTerminal map[int]bool) []keyPath {
 			keyNodes = append(keyNodes, v)
 		}
 	}
-	sort.Ints(keyNodes)
+	slices.Sort(keyNodes)
 	for _, start := range keyNodes {
 		for _, e := range adj[start] {
 			if seen[e] {
@@ -102,62 +116,98 @@ func keyPaths(edges []graph.Edge, isTerminal map[int]bool) []keyPath {
 	return paths
 }
 
+// Side labels for the key-path exchange scan.
+const (
+	sideNone = int8(0)
+	sideA    = int8(1)
+	sideB    = int8(2)
+)
+
+// growImprove sizes the per-node scan buffers of tryExchange.
+func (scr *Scratch) growImprove(n int) {
+	if cap(scr.idist) < n {
+		scr.idist = make([]float64, n)
+		scr.ipred = make([]int32, n)
+		scr.visited = make([]bool, n)
+		scr.side = make([]int8, n)
+	}
+	scr.idist = scr.idist[:n]
+	scr.ipred = scr.ipred[:n]
+	scr.visited = scr.visited[:n]
+	scr.side = scr.side[:n]
+}
+
 // tryExchange removes a key path and reconnects the two resulting sides
 // (anchored at the path's endpoints) with the cheapest available path,
 // returning the new edge set and the cost gain (positive = improvement).
-func tryExchange(g *graph.Graph, w graph.EdgeWeightFunc, edges []graph.Edge, kp keyPath) ([]graph.Edge, float64) {
-	removed := make(map[graph.Edge]bool, len(kp.edges))
+// The returned slice is freshly allocated only when an improvement is
+// found; otherwise the input edges come back untouched.
+func tryExchange(g *graph.Graph, w graph.EdgeWeightFunc, edges []graph.Edge, kp keyPath, scr *Scratch) ([]graph.Edge, float64) {
+	n := g.NumNodes()
+	scr.growImprove(n)
 	oldCost := 0.0
 	for _, e := range kp.edges {
-		removed[e] = true
 		oldCost += w(e.U, e.V)
 	}
-	var kept []graph.Edge
+	kept := scr.edges[:0]
 	for _, e := range edges {
-		if !removed[e] {
+		if !slices.Contains(kp.edges, e) {
 			kept = append(kept, e)
 		}
 	}
+	scr.edges = kept
 
 	endA, endB := pathEndpoints(kp.edges)
 
 	// Components of the remaining forest, with the endpoints present even
 	// when they keep no edges.
-	uf := newUnionFind()
-	uf.find(endA)
-	uf.find(endB)
+	uf := scr.resetUF(n)
 	for _, e := range kept {
-		uf.union(e.U, e.V)
+		ufUnion(uf, int32(e.U), int32(e.V))
 	}
-	sideA := uf.find(endA)
-	sideB := uf.find(endB)
-	if sideA == sideB {
+	rootA := ufFind(uf, int32(endA))
+	rootB := ufFind(uf, int32(endB))
+	if rootA == rootB {
 		return edges, 0 // path removal did not disconnect (shouldn't happen)
 	}
 
-	// Side membership: kept-tree nodes plus the anchoring endpoints.
-	side := map[int]int{endA: sideA, endB: sideB}
+	// Side membership: kept-tree nodes plus the anchoring endpoints. The
+	// tree was connected, so every kept endpoint lands in one of the two
+	// anchor components.
+	side := scr.side
+	for i := range side {
+		side[i] = sideNone
+	}
+	mark := func(v int) {
+		if ufFind(uf, int32(v)) == rootA {
+			side[v] = sideA
+		} else {
+			side[v] = sideB
+		}
+	}
+	mark(endA)
+	mark(endB)
 	for _, e := range kept {
-		side[e.U] = uf.find(e.U)
-		side[e.V] = uf.find(e.V)
+		mark(e.U)
+		mark(e.V)
 	}
 
 	// Multi-source Dijkstra from every side-A node over the full graph.
-	dist := make([]float64, g.NumNodes())
-	pred := make([]int, g.NumNodes())
-	for v := range dist {
+	// The linear-scan extraction (not a heap) is intentional: its
+	// tie-breaking differs from the heap Dijkstra, and the exchange
+	// decisions are replayed byte-for-byte in the determinism suites.
+	dist, pred, visited := scr.idist, scr.ipred, scr.visited
+	for v := 0; v < n; v++ {
 		dist[v] = graph.Infinite
 		pred[v] = -1
-	}
-	for v, s := range side {
-		if s == sideA {
+		visited[v] = false
+		if side[v] == sideA {
 			dist[v] = 0
 		}
 	}
-	visited := make([]bool, g.NumNodes())
 	for {
 		u, best := -1, graph.Infinite
-		for v := 0; v < g.NumNodes(); v++ {
+		for v := 0; v < n; v++ {
 			if !visited[v] && dist[v] < best {
 				u, best = v, dist[v]
 			}
@@ -169,16 +219,16 @@ func tryExchange(g *graph.Graph, w graph.EdgeWeightFunc, edges []graph.Edge, kp 
 		for _, v := range g.Neighbors(u) {
 			if d := dist[u] + w(u, v); d < dist[v] {
 				dist[v] = d
-				pred[v] = u
+				pred[v] = int32(u)
 			}
 		}
 	}
 
 	// Cheapest reconnection into side B. Scan in node order so ties break
-	// toward the smallest node id, independent of map iteration order.
+	// toward the smallest node id.
 	bestNode, bestCost := -1, graph.Infinite
-	for v := 0; v < g.NumNodes(); v++ {
-		if s, ok := side[v]; ok && s == sideB && dist[v] < bestCost {
+	for v := 0; v < n; v++ {
+		if side[v] == sideB && dist[v] < bestCost {
 			bestNode, bestCost = v, dist[v]
 		}
 	}
@@ -188,14 +238,9 @@ func tryExchange(g *graph.Graph, w graph.EdgeWeightFunc, edges []graph.Edge, kp 
 
 	// Splice in the reconnection path.
 	result := append([]graph.Edge(nil), kept...)
-	present := map[graph.Edge]bool{}
-	for _, e := range result {
-		present[e] = true
-	}
-	for v := bestNode; pred[v] != -1; v = pred[v] {
-		e := graph.Edge{U: pred[v], V: v}.Canonical()
-		if !present[e] {
-			present[e] = true
+	for v := bestNode; pred[v] != -1; v = int(pred[v]) {
+		e := graph.Edge{U: int(pred[v]), V: v}.Canonical()
+		if !slices.Contains(result, e) {
 			result = append(result, e)
 		}
 	}
@@ -203,22 +248,34 @@ func tryExchange(g *graph.Graph, w graph.EdgeWeightFunc, edges []graph.Edge, kp 
 }
 
 // pathEndpoints returns the two degree-1 endpoints of an edge path (for a
-// single edge, its two endpoints).
+// single edge, its two endpoints), smallest first. A key path has exactly
+// two such nodes, so the quadratic degree count stays proportional to the
+// (short) path, allocation-free.
 func pathEndpoints(edges []graph.Edge) (int, int) {
-	deg := map[int]int{}
+	endA, endB := -1, -1
 	for _, e := range edges {
-		deg[e.U]++
-		deg[e.V]++
-	}
-	var ends []int
-	for v, d := range deg {
-		if d == 1 {
-			ends = append(ends, v)
+		for _, v := range [2]int{e.U, e.V} {
+			d := 0
+			for _, f := range edges {
+				if f.U == v || f.V == v {
+					d++
+				}
+			}
+			if d != 1 {
+				continue
+			}
+			if endA == -1 {
+				endA = v
+			} else if v != endA && endB == -1 {
+				endB = v
+			}
 		}
 	}
-	sort.Ints(ends)
-	if len(ends) >= 2 {
-		return ends[0], ends[1]
+	if endA >= 0 && endB >= 0 {
+		if endA > endB {
+			endA, endB = endB, endA
+		}
+		return endA, endB
 	}
 	// Degenerate (cycle) — fall back to the first edge's endpoints.
 	return edges[0].U, edges[0].V

@@ -234,6 +234,39 @@ func spansAsTree(tree Tree, terminals []int) bool {
 	return len(tree.Edges) == len(tree.Nodes())-1
 }
 
+// unionFind is a small map-keyed union-find for test assertions (the
+// production path uses the dense slice-based one in Scratch).
+type unionFind struct {
+	parent map[int]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[int]int)}
+}
+
+func (u *unionFind) find(x int) int {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p != x {
+		r := u.find(p)
+		u.parent[x] = r
+		return r
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[ra] = rb
+	return true
+}
+
 func randomEdgeWeights(g *graph.Graph, rng *rand.Rand) map[graph.Edge]float64 {
 	weights := make(map[graph.Edge]float64, g.NumEdges())
 	for _, e := range g.Edges() {

@@ -21,12 +21,13 @@
 package wal
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 )
@@ -161,8 +162,8 @@ func scanDir(dir string) (*scanResult, error) {
 			snaps = append(snaps, seq)
 		}
 	}
-	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
-	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	slices.Sort(segs)
+	slices.Sort(snaps)
 
 	// Newest snapshot that decodes cleanly wins; older ones are stale.
 	for i := len(snaps) - 1; i >= 0; i-- {
@@ -533,11 +534,19 @@ func List(dir string) ([]Entry, error) {
 			files = append(files, file{seq, true, e.Name()})
 		}
 	}
-	sort.Slice(files, func(i, j int) bool {
-		if files[i].seq != files[j].seq {
-			return files[i].seq < files[j].seq
+	slices.SortFunc(files, func(a, b file) int {
+		if a.seq != b.seq {
+			return cmp.Compare(a.seq, b.seq)
 		}
-		return files[i].snap && !files[j].snap // snapshot precedes the segment it starts
+		// Snapshot precedes the segment it starts; replay depends on it.
+		switch {
+		case a.snap == b.snap:
+			return 0
+		case a.snap:
+			return -1
+		default:
+			return 1
+		}
 	})
 	var out []Entry
 	for _, f := range files {

@@ -12,6 +12,11 @@
 # The JSON layout is one object per benchmark line:
 #   {"name": ..., "iterations": ..., "nsPerOp": ..., "bytesPerOp": ..., "allocsPerOp": ...}
 # wrapped with the commit, date and `go version` for provenance.
+#
+# After recording, the fresh run is diffed against the most recently
+# committed BENCH_*.json (by commit time) and per-benchmark ns/op and
+# allocs/op deltas are printed, so a perf regression is visible in the
+# run log (and in CI) before the numbers land in review.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,3 +64,66 @@ END { printf "\n  ]\n}\n" }
 ' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+# Baseline: the committed BENCH_*.json with the newest commit timestamp,
+# excluding the file this run just wrote. Benchmark names are compared
+# with their -GOMAXPROCS suffix stripped so runs from machines with
+# different core counts still line up.
+BASE=""
+BASE_T=0
+for f in $(git ls-files 'BENCH_*.json' 2>/dev/null); do
+  [ "$f" = "${OUT#./}" ] && continue
+  t="$(git log -1 --format=%ct -- "$f" 2>/dev/null)"
+  [ -n "$t" ] || t=0
+  if [ "$t" -gt "$BASE_T" ]; then
+    BASE="$f"
+    BASE_T="$t"
+  fi
+done
+
+if [ -z "$BASE" ]; then
+  echo "no committed BENCH_*.json baseline found; skipping comparison"
+  exit 0
+fi
+
+echo ""
+echo "delta vs $BASE ($(git log -1 --format=%h -- "$BASE")):"
+awk '
+function bname(line,    n) {
+  if (!match(line, /"name": "[^"]+"/)) return ""
+  n = substr(line, RSTART + 9, RLENGTH - 10)
+  sub(/-[0-9]+$/, "", n)  # strip the -GOMAXPROCS suffix
+  return n
+}
+function num(line, key,    v) {
+  if (!match(line, "\"" key "\": [0-9.e+]+")) return ""
+  v = substr(line, RSTART, RLENGTH)
+  sub(/.*: /, "", v)
+  return v
+}
+function pct(old, new) {
+  if (old + 0 == 0) return "n/a"
+  return sprintf("%+.1f%%", 100 * (new - old) / old)
+}
+/\{"name":/ {
+  n = bname($0)
+  if (n == "") next
+  if (FNR == NR) {
+    base_ns[n] = num($0, "nsPerOp")
+    base_al[n] = num($0, "allocsPerOp")
+    next
+  }
+  ns = num($0, "nsPerOp")
+  al = num($0, "allocsPerOp")
+  if (!(n in base_ns)) {
+    printf "  %-46s new benchmark: %s ns/op", n, ns
+    if (al != "") printf ", %s allocs/op", al
+    printf "\n"
+    next
+  }
+  printf "  %-46s ns/op %s -> %s (%s)", n, base_ns[n], ns, pct(base_ns[n], ns)
+  if (al != "" && base_al[n] != "")
+    printf "  allocs/op %s -> %s (%s)", base_al[n], al, pct(base_al[n], al)
+  printf "\n"
+}
+' "$BASE" "$OUT"

@@ -45,6 +45,11 @@ type Request struct {
 type Solver struct {
 	topo *Topology
 	pc   *graph.PathCache
+	// scratch is the solver-owned arena pool: every approximation solve
+	// (whole-topology and per-region sharded) borrows its per-chunk scratch
+	// buffers here, so steady-state request traffic recycles arenas instead
+	// of reallocating the inner solve state on every chunk.
+	scratch *core.ScratchPool
 
 	mu    sync.Mutex
 	base  *costmodel.Model // empty-state topology model; read-only once built
@@ -85,7 +90,7 @@ func NewSolver(t *Topology) (*Solver, error) {
 	if !t.g.Connected() {
 		return nil, ErrNotConnected
 	}
-	return &Solver{topo: t, pc: graph.NewPathCache(t.g)}, nil
+	return &Solver{topo: t, pc: graph.NewPathCache(t.g), scratch: core.NewScratchPool()}, nil
 }
 
 // Topology returns the topology the solver is bound to.
@@ -196,6 +201,7 @@ func coreOptions(o Options) core.Options {
 func (s *Solver) solveApprox(ctx context.Context, req Request, o Options) (*Result, error) {
 	coreOpts := coreOptions(o)
 	coreOpts.PathCache = s.pc
+	coreOpts.Scratch = s.scratch
 	solver, err := core.New(s.topo.g, coreOpts)
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)

@@ -3,7 +3,7 @@ package faircache
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/cache"
@@ -176,6 +176,9 @@ func (s *Solver) solvePartitioned(ctx context.Context, req Request, o Options) (
 	coreOpts := coreOptions(o)
 	coreOpts.Workers = -1
 	coreOpts.ChunkStarted = nil // regions run concurrently; see Options
+	// Concurrent region solves each check an arena out of the solver-owned
+	// pool (PlaceModelCtx gets/puts one per call), so sharing it is safe.
+	coreOpts.Scratch = s.scratch
 	producers := regionProducers(s.topo.g, part, req.Producer)
 	placements := make([]*core.Placement, len(part.Regions))
 	err = pl.ForEachErr(ctx, len(part.Regions), func(r int) error {
@@ -217,7 +220,7 @@ func (s *Solver) solvePartitioned(ctx context.Context, req Request, o Options) (
 		}
 	}
 	for n := range merged {
-		sort.Ints(merged[n])
+		slices.Sort(merged[n])
 		copies += len(merged[n])
 	}
 	copyCharge := 0.0
