@@ -8,6 +8,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/demand"
 	"repro/internal/pool"
+	"repro/internal/trace"
 )
 
 // RequestEvent is one observed demand event: node Node requested chunk
@@ -80,6 +81,19 @@ type AdaptationResult struct {
 	// Replaced lists chunks that had lost every copy and were re-placed
 	// by a full fair-caching iteration.
 	Replaced []int `json:"replaced,omitempty"`
+	// Trace is the per-phase explain summary, present only when the pass
+	// ran with AdaptRunOptions.Explain.
+	Trace *ExplainReport `json:"trace,omitempty"`
+}
+
+// AdaptRunOptions tunes one adaptation pass's observability; see the
+// same-named Options fields on solve requests.
+type AdaptRunOptions struct {
+	// Explain records the pass's phase spans and returns the summary in
+	// AdaptationResult.Trace.
+	Explain bool
+	// TraceID labels the pass's trace spans; empty means a generated id.
+	TraceID string
 }
 
 // AdaptiveSystem is the request-driven adaptive caching variant: a static
@@ -93,6 +107,9 @@ type AdaptiveSystem struct {
 	sys  *demand.System
 	topo *Topology
 	name string
+	// tracer is the creating Solver's span ring, shared so adaptation
+	// passes land next to solve spans under one sampling knob.
+	tracer *trace.Tracer
 }
 
 // NewAdaptive builds and seeds an adaptive caching system on the
@@ -133,7 +150,8 @@ func (s *Solver) NewAdaptive(ctx context.Context, producer, chunks int, opts *Ad
 
 	pl := pool.New(pool.Normalize(o.Workers))
 	defer pl.Close()
-	bm, err := s.baseModel(ctx, pl)
+	var dead trace.Span
+	bm, err := s.baseModel(ctx, pl, &dead)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +175,7 @@ func (s *Solver) NewAdaptive(ctx context.Context, producer, chunks int, opts *Ad
 	if err := sys.SeedCtx(ctx); err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
 	}
-	return &AdaptiveSystem{sys: sys, topo: s.topo, name: o.Eviction}, nil
+	return &AdaptiveSystem{sys: sys, topo: s.topo, name: o.Eviction, tracer: s.tracer}, nil
 }
 
 // Report ingests a batch of request events: each is served by its
@@ -181,19 +199,39 @@ func (a *AdaptiveSystem) Report(events []RequestEvent) (BatchResult, error) {
 // Adapt runs one adaptation pass against the current popularity
 // estimates (see demand.System.AdaptCtx for the exact phases).
 func (a *AdaptiveSystem) Adapt(ctx context.Context) (*AdaptationResult, error) {
+	return a.AdaptWith(ctx, nil)
+}
+
+// AdaptWith is Adapt with per-pass observability options: an Explain
+// pass records the five phases' spans (score, evict, replace,
+// redundancy, fill, plus the settling refresh) into the owning solver's
+// trace ring and returns the summary in AdaptationResult.Trace. nil opts
+// behaves exactly like Adapt.
+func (a *AdaptiveSystem) AdaptWith(ctx context.Context, opts *AdaptRunOptions) (*AdaptationResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	rep, err := a.sys.AdaptCtx(ctx)
+	var o AdaptRunOptions
+	if opts != nil {
+		o = *opts
+	}
+	tr := a.tracer.StartTrace(o.TraceID, o.Explain)
+	sp := tr.Start("adapt")
+	rep, err := a.sys.AdaptTraceCtx(ctx, &sp)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
 	}
-	return &AdaptationResult{
+	res := &AdaptationResult{
 		TopChunks: rep.TopChunks,
 		Evicted:   len(rep.Evicted),
 		Placed:    len(rep.Placed),
 		Replaced:  rep.Replaced,
-	}, nil
+	}
+	if o.Explain {
+		res.Trace = buildExplain(tr, "adapt")
+	}
+	return res, nil
 }
 
 // Stats returns the current counters and quality metrics.

@@ -12,6 +12,8 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -173,6 +175,16 @@ func (c *Client) Adapt(ctx context.Context, id string) (*server.AdaptResponse, e
 	return &out, nil
 }
 
+// AdaptWith runs one adaptation pass with observability options (e.g.
+// Explain, which returns the pass's per-phase trace breakdown).
+func (c *Client) AdaptWith(ctx context.Context, id string, req *server.AdaptRequest) (*server.AdaptResponse, error) {
+	var out server.AdaptResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/topologies/"+id+"/adapt", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Healthz fetches the service health summary.
 func (c *Client) Healthz(ctx context.Context) (*server.HealthResponse, error) {
 	var out server.HealthResponse
@@ -222,6 +234,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if tp := newTraceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -244,4 +259,19 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return nil
 	}
 	return json.Unmarshal(body, out)
+}
+
+// newTraceparent mints a W3C trace-context header
+// ("00-<trace-id>-<span-id>-01") with fresh random ids, one per request.
+// The daemon threads the trace id through its logs, spans and responses
+// (SolveResponse.TraceID), so a client-side failure can be matched to
+// the exact server-side computation — including a coalesced one, whose
+// response carries the flight leader's id instead. Returns "" if the
+// randomness source fails; the server then generates an id itself.
+func newTraceparent() string {
+	var b [24]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return "00-" + hex.EncodeToString(b[:16]) + "-" + hex.EncodeToString(b[16:]) + "-01"
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fig all|1|2|3|4|5|6|7|8|9|tab2|abl|part|adapt] [-quick]
+//	experiments [-fig all|1|2|3|4|5|6|7|8|9|tab2|abl|part|adapt|phases] [-quick]
 //	            [-algs appx,dist]
 //
 // -quick shrinks network sizes and search budgets for a fast smoke run.
@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 1-9, tab2, abl, part, adapt")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 1-9, tab2, abl, part, adapt, phases")
 	quick := flag.Bool("quick", false, "use reduced sizes and budgets")
 	algs := flag.String("algs", "", "comma-separated algorithm filter (canonical names or legacy aliases, e.g. appx,dist)")
 	flag.Parse()
@@ -76,19 +77,20 @@ type config struct {
 func run(fig string, quick bool) error {
 	c := config{quick: quick}
 	runners := map[string]func() error{
-		"1":     c.fig1,
-		"2":     c.fig2,
-		"3":     c.fig3,
-		"4":     c.fig4,
-		"5":     c.fig5,
-		"6":     c.fig6,
-		"7":     c.fig7,
-		"8":     c.fig8,
-		"9":     c.fig9,
-		"tab2":  c.table2,
-		"abl":   c.ablations,
-		"part":  c.partitioned,
-		"adapt": c.adaptive,
+		"1":      c.fig1,
+		"2":      c.fig2,
+		"3":      c.fig3,
+		"4":      c.fig4,
+		"5":      c.fig5,
+		"6":      c.fig6,
+		"7":      c.fig7,
+		"8":      c.fig8,
+		"9":      c.fig9,
+		"tab2":   c.table2,
+		"abl":    c.ablations,
+		"part":   c.partitioned,
+		"adapt":  c.adaptive,
+		"phases": c.phases,
 	}
 	if fig != "all" {
 		r, ok := runners[fig]
@@ -97,7 +99,7 @@ func run(fig string, quick bool) error {
 		}
 		return r()
 	}
-	for _, key := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "tab2", "abl", "part", "adapt"} {
+	for _, key := range []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "tab2", "abl", "part", "adapt", "phases"} {
 		if err := runners[key](); err != nil {
 			return fmt.Errorf("fig %s: %w", key, err)
 		}
@@ -536,5 +538,62 @@ func (c config) ablations() error {
 		})
 	}
 	printTable([]string{"configuration", "gini", "distinct caches", "total cost", "dissemination"}, out)
+	return nil
+}
+
+// phases runs one explain'd Fig-1 solve (6×6 grid, producer 9, the
+// paper's 5 chunks) and prints its per-phase trace breakdown: where the
+// approximation's wall-clock goes (cost-model build, ConFL dual growth,
+// Steiner connection, per-chunk placement) plus each phase's summed
+// counters. Quick mode shrinks the grid like fig1 does.
+func (c config) phases() error {
+	header("Phase breakdown — one explain'd Appx solve (Fig. 1 configuration)")
+	side := 6
+	if c.quick {
+		side = 4
+	}
+	sc := c.scenario()
+	topo, err := faircache.Grid(side, side)
+	if err != nil {
+		return err
+	}
+	solver, err := faircache.NewSolver(topo)
+	if err != nil {
+		return err
+	}
+	producer := 9 // the paper's Fig. 1 producer
+	if producer >= topo.NumNodes() {
+		producer = topo.CentralNode()
+	}
+	res, err := solver.Solve(context.Background(), faircache.Request{
+		Producer: producer,
+		Chunks:   sc.Chunks,
+		Options:  &faircache.Options{Capacity: sc.Capacity, Explain: true},
+	})
+	if err != nil {
+		return err
+	}
+	rep := res.Trace
+	if rep == nil {
+		return fmt.Errorf("explain solve returned no trace")
+	}
+	fmt.Printf("trace %s: %d spans, %.2f ms total\n\n", rep.TraceID, rep.Spans, rep.TotalMs)
+	var rows [][]string
+	for _, ph := range rep.Phases {
+		counters := make([]string, 0, len(ph.Counters))
+		for k, v := range ph.Counters {
+			counters = append(counters, fmt.Sprintf("%s=%d", k, v))
+		}
+		sort.Strings(counters)
+		rows = append(rows, []string{
+			ph.Phase,
+			fmt.Sprint(ph.Count),
+			fmt.Sprintf("%.3f", ph.TotalMs),
+			fmt.Sprintf("%.1f%%", 100*ph.TotalMs/rep.TotalMs),
+			strings.Join(counters, ", "),
+		})
+	}
+	printTable([]string{"phase", "spans", "total ms", "% of solve", "counters"}, rows)
+	fmt.Println("\nPhases nest (a chunk span contains its confl and steiner spans), so percentages do not sum to 100.")
 	return nil
 }

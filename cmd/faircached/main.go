@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -58,6 +59,9 @@ func main() {
 		inspect       = flag.Bool("inspect", false, "print a redacted record listing of -data-dir and exit")
 		coalesceOn    = flag.Bool("coalesce", true, "coalesce concurrent identical solve/report requests onto shared flights")
 		pprofOn       = flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+		logFormat     = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		traceSample   = flag.Int("trace-sample", 0, "record solve-phase spans for 1 in N solve/adapt requests on GET /debug/trace (0 disables; explain requests always record)")
 		load          = flag.Bool("load", false, "self-driving load mode: register a grid, run the load generator, print stats, exit")
 		loadMode      = flag.String("load-mode", "mixed", "-load workload: mixed (lookups/publishes/reports) or solve-burst (identical solves, reports coalescing hit rate)")
 		loadGrid      = flag.String("load-grid", "6x6", "grid for -load mode, ROWSxCOLS")
@@ -67,9 +71,16 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faircached:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
 	if *inspect {
 		if err := runInspect(os.Stdout, *dataDir); err != nil {
-			fmt.Fprintln(os.Stderr, "faircached:", err)
+			logger.Error("inspect failed", "err", err)
 			os.Exit(1)
 		}
 		return
@@ -81,11 +92,40 @@ func main() {
 		Fsync:             *fsync,
 		SnapshotEvery:     *snapshotEvery,
 		DisableCoalescing: !*coalesceOn,
+		Logger:            logger,
+		TraceSample:       *traceSample,
 	}
 	lc := loadConfig{mode: *loadMode, grid: *loadGrid, requests: *loadRequests, workers: *loadWorkers, chunks: *loadChunks}
 	if err := run(*addr, opts, *drainTimeout, *pprofOn, *load, lc); err != nil {
-		fmt.Fprintln(os.Stderr, "faircached:", err)
+		logger.Error("daemon exited with error", "err", err)
 		os.Exit(1)
+	}
+}
+
+// buildLogger constructs the daemon's slog handler from the -log-format
+// and -log-level flags.
+func buildLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	ho := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, ho)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 	}
 }
 
@@ -103,8 +143,12 @@ func run(addr string, opts server.Options, drainTimeout time.Duration, pprofOn, 
 	if err != nil {
 		return err
 	}
+	log := opts.Logger
+	if log == nil {
+		log = slog.Default()
+	}
 	if opts.DataDir != "" {
-		fmt.Printf("faircached: durable state in %s (fsync=%s)\n", opts.DataDir, opts.Fsync)
+		log.Info("durable state enabled", "dir", opts.DataDir, "fsync", opts.Fsync)
 	}
 	// Profiling is opt-in: the pprof handlers expose internals (heap
 	// contents, goroutine stacks) that have no place on a default deploy.
@@ -118,7 +162,7 @@ func run(addr string, opts server.Options, drainTimeout time.Duration, pprofOn, 
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/", svc)
 		handler = mux
-		fmt.Println("faircached: pprof profiling enabled on /debug/pprof/")
+		log.Info("pprof profiling enabled", "path", "/debug/pprof/")
 	}
 	httpSrv := &http.Server{Handler: handler}
 
@@ -127,7 +171,12 @@ func run(addr string, opts server.Options, drainTimeout time.Duration, pprofOn, 
 		svc.Close()
 		return err
 	}
-	fmt.Printf("faircached: listening on %s\n", ln.Addr())
+	log.Info("listening", "addr", ln.Addr().String(), "traceSample", opts.TraceSample)
+	// Lifecycle banners stay on stdout as a plain-text contract: wrapper
+	// scripts (and the e2e tests) parse the bound address and the clean
+	// exit from here, while the structured log stream goes to stderr in
+	// whatever -log-format selected.
+	fmt.Printf("faircached: listening on %s\n", ln.Addr().String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -143,7 +192,7 @@ func run(addr string, opts server.Options, drainTimeout time.Duration, pprofOn, 
 
 	select {
 	case <-ctx.Done():
-		fmt.Println("faircached: shutting down, draining in-flight requests")
+		log.Info("shutting down, draining in-flight requests", "drainTimeout", drainTimeout.String())
 	case err := <-serveErr:
 		svc.Close()
 		return err
@@ -152,10 +201,11 @@ func run(addr string, opts server.Options, drainTimeout time.Duration, pprofOn, 
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "faircached: drain:", err)
+		log.Error("drain did not complete", "err", err)
 	}
 	svc.Close()
-	fmt.Println("faircached: shutdown complete")
+	log.Info("shutdown complete")
+	fmt.Printf("faircached: shutdown complete\n")
 	return loadErr
 }
 

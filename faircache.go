@@ -242,6 +242,16 @@ type Options struct {
 	// engine over region-local cost matrices, and the placements are
 	// stitched with a boundary-reconciliation pass. See PartitionOptions.
 	Partition *PartitionOptions
+	// Explain asks the solve to record phase spans regardless of the
+	// solver's trace sampling and return a per-phase summary in
+	// Result.Trace (durations plus counters: dual-growth ticks, admitted
+	// facilities, repaired cost rows, stitch re-bids). Placements are
+	// byte-identical with and without Explain.
+	Explain bool
+	// TraceID labels this request's trace spans (ring buffer, explain
+	// report, logs). Empty means a generated id. The daemon threads the
+	// W3C traceparent id from the client through here.
+	TraceID string
 }
 
 // Algorithm identifies a placement algorithm in results and reports.
@@ -308,6 +318,9 @@ type Result struct {
 	// Partition describes the decomposition of a sharded solve (nil for
 	// global solves).
 	Partition *PartitionReport
+	// Trace is the per-phase explain summary, present only when the
+	// request set Options.Explain.
+	Trace *ExplainReport
 
 	topo     *Topology
 	strategy metrics.AccessStrategy
@@ -352,6 +365,8 @@ func (o *Options) withDefaults() Options {
 	out.Workers = o.Workers
 	out.ChunkStarted = o.ChunkStarted
 	out.Partition = o.Partition
+	out.Explain = o.Explain
+	out.TraceID = o.TraceID
 	return out
 }
 

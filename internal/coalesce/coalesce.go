@@ -54,6 +54,14 @@ type flight struct {
 // Group coalesces calls by key. The zero value is ready to use. A Group
 // is safe for concurrent use.
 type Group struct {
+	// OnDetach, when non-nil, is invoked every time a caller gives up on
+	// a still-running flight, with the detaching caller's context (whose
+	// values identify it — trace id, peer), the flight key, and whether
+	// this caller was the last one attached (alone=true means the flight
+	// itself is being aborted). Set it before the Group sees traffic; it
+	// runs on the detaching caller's goroutine, keep it fast.
+	OnDetach func(ctx context.Context, key string, alone bool)
+
 	mu      sync.Mutex
 	flights map[string]*flight
 
@@ -150,6 +158,9 @@ func (g *Group) wait(ctx context.Context, key string, f *flight, shared bool) (a
 	if abandoned {
 		g.aborted.Add(1)
 		f.cancel()
+	}
+	if g.OnDetach != nil {
+		g.OnDetach(ctx, key, abandoned)
 	}
 	return nil, shared, ctx.Err()
 }

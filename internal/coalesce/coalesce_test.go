@@ -246,3 +246,84 @@ func TestFlightErrorIsShared(t *testing.T) {
 		}
 	}
 }
+
+func TestOnDetachHookObservesAbandonment(t *testing.T) {
+	var g Group
+	type detach struct {
+		key   string
+		alone bool
+	}
+	var mu sync.Mutex
+	var seen []detach
+	g.OnDetach = func(ctx context.Context, key string, alone bool) {
+		mu.Lock()
+		seen = append(seen, detach{key, alone})
+		mu.Unlock()
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	followerCtx, cancelFollower := context.WithCancel(context.Background())
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _, err := g.Do(leaderCtx, "k", func(ctx context.Context) (any, error) {
+			close(started)
+			<-release
+			return nil, nil
+		})
+		if err == nil {
+			t.Error("cancelled leader returned nil error")
+		}
+	}()
+	<-started
+	go func() {
+		defer wg.Done()
+		_, _, err := g.Do(followerCtx, "k", func(ctx context.Context) (any, error) {
+			t.Error("follower must attach, not start a flight")
+			return nil, nil
+		})
+		if err == nil {
+			t.Error("cancelled follower returned nil error")
+		}
+	}()
+	// Let the follower attach before anyone detaches.
+	waitFor(t, func() bool { return g.Stats().Hits == 1 })
+
+	cancelFollower()
+	waitFor(t, func() bool { return g.Stats().Detached == 1 })
+	cancelLeader()
+	waitFor(t, func() bool { return g.Stats().Detached == 2 })
+	wg.Wait()
+	close(release)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("OnDetach fired %d times, want 2 (%v)", len(seen), seen)
+	}
+	if seen[0].alone || !seen[1].alone {
+		t.Fatalf("detach order wrong: first must be attended, last alone: %v", seen)
+	}
+	if seen[0].key != "k" || seen[1].key != "k" {
+		t.Fatalf("OnDetach keys wrong: %v", seen)
+	}
+	if got := g.Stats(); got.Aborted != 1 {
+		t.Fatalf("aborted = %d, want 1", got.Aborted)
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline nears.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

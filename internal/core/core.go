@@ -20,6 +20,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/pool"
 	"repro/internal/steiner"
+	"repro/internal/trace"
 )
 
 // Strategy selects the per-chunk ConFL solver.
@@ -75,6 +76,10 @@ type Options struct {
 	// default pool. Either way a steady-state chunk placement performs
 	// near-zero heap allocations.
 	Scratch *ScratchPool
+	// Parent is the trace span per-chunk placement spans attach under
+	// (cost refresh, ConFL dual growth, Steiner connect/improve). The
+	// zero Span disables tracing at zero cost.
+	Parent trace.Span
 }
 
 // DefaultOptions returns the configuration used in the paper's evaluation.
@@ -336,16 +341,31 @@ func (s *Solver) placeChunk(ctx context.Context, producer, n int, m *costmodel.M
 	if hook := s.opts.ChunkStarted; hook != nil {
 		hook(n)
 	}
+	csp := s.opts.Parent.Child("chunk")
+	csp.SetInt("chunk", int64(n))
+	defer csp.End()
 
 	// Lines 5-16: refresh fairness and contention costs from the state.
 	// The model repairs only the entries the previous chunk's commits
 	// dirtied; the first call on a cold model pays the one full build.
+	rsp := csp.Child("costmodel.refresh")
+	var st0 costmodel.Stats
+	if rsp.Live() {
+		st0 = m.Stats()
+	}
 	scr.fc = m.FacilityCostsInto(producer, scr.fc)
 	fc := scr.fc
 	costs, err := m.CostsCtx(ctx, pl)
 	if err != nil {
 		return nil, err
 	}
+	if rsp.Live() {
+		st1 := m.Stats()
+		rsp.SetInt("fullBuilds", int64(st1.FullBuilds-st0.FullBuilds))
+		rsp.SetInt("repairs", int64(st1.Repairs-st0.Repairs))
+		rsp.SetInt("cellsRepaired", int64(st1.CellsRecomputed-st0.CellsRecomputed))
+	}
+	rsp.End()
 
 	// Phase 1 (lines 17-46): per-chunk ConFL. The instance borrows the
 	// model's flat cost views read-only for the duration of the solve.
@@ -357,6 +377,7 @@ func (s *Solver) placeChunk(ctx context.Context, producer, n int, m *costmodel.M
 	}
 	copts := s.opts.ConFL
 	copts.Pool = pl
+	fsp := csp.Child("confl")
 	var sol *confl.Solution
 	if s.opts.Strategy == Greedy {
 		sol, err = confl.SolveGreedyCtx(ctx, inst, copts)
@@ -366,6 +387,18 @@ func (s *Solver) placeChunk(ctx context.Context, producer, n int, m *costmodel.M
 	if err != nil {
 		return nil, err
 	}
+	if fsp.Live() {
+		fsp.SetInt("ticks", int64(sol.Iterations))
+		fsp.SetInt("admitted", int64(len(sol.Facilities)))
+		frozen := 0
+		for j, to := range sol.Assign {
+			if j != producer && to != j {
+				frozen++
+			}
+		}
+		fsp.SetInt("frozenRemote", int64(frozen))
+	}
+	fsp.End()
 
 	res := &ChunkResult{
 		Chunk:      n,
@@ -389,12 +422,21 @@ func (s *Solver) placeChunk(ctx context.Context, producer, n int, m *costmodel.M
 		scr.terminals = append(append(scr.terminals[:0], sol.Facilities...), producer)
 		terminals := scr.terminals
 		edgeCost := m.EdgeCostFunc()
+		ssp := csp.Child("steiner.connect")
 		tree, err := steiner.MSTApproxScratchCtx(ctx, s.g, edgeCost, terminals, pl, &scr.steiner)
 		if err != nil {
 			return nil, err
 		}
+		ssp.SetInt("terminals", int64(len(terminals)))
+		ssp.SetInt("edges", int64(len(tree.Edges)))
+		ssp.End()
 		if s.opts.ImproveSteiner {
+			isp := csp.Child("steiner.improve")
+			before := len(tree.Edges)
 			tree = steiner.ImproveScratch(s.g, edgeCost, tree, terminals, &scr.steiner)
+			isp.SetInt("edgesBefore", int64(before))
+			isp.SetInt("edges", int64(len(tree.Edges)))
+			isp.End()
 		}
 		res.Tree = tree
 		res.Dissemination = tree.Cost

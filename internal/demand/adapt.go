@@ -7,6 +7,7 @@ import (
 	"slices"
 
 	"repro/internal/cache"
+	"repro/internal/trace"
 )
 
 // AdaptReport records what one adaptation pass did.
@@ -58,22 +59,45 @@ type chunkScore struct {
 // costs delta repairs, not rebuilds. The pass is deterministic for a
 // fixed request history.
 func (s *System) AdaptCtx(ctx context.Context) (*AdaptReport, error) {
+	return s.AdaptTraceCtx(ctx, nil)
+}
+
+// AdaptTraceCtx is AdaptCtx with each of the five phases (score, evict,
+// replace, redundancy, fill) plus the settling refresh recorded as child
+// spans of parent. A nil (or dead) parent runs the untraced path at zero
+// extra cost.
+func (s *System) AdaptTraceCtx(ctx context.Context, parent *trace.Span) (*AdaptReport, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("demand: adapt: %w", err)
+	}
+	var dead trace.Span
+	if parent == nil {
+		parent = &dead
 	}
 	shares := s.tracker.Shares()
 	weights := s.tracker.NodeWeights()
 
 	report := &AdaptReport{}
+	sp := parent.Child("adapt.score")
 	top := s.topChunks(shares, weights)
 	report.TopChunks = top
+	sp.SetInt("topChunks", int64(len(top)))
+	sp.End()
 
+	sp = parent.Child("adapt.evict")
 	if err := s.pressureEvict(shares, weights, report); err != nil {
 		return nil, err
 	}
+	sp.SetInt("evicted", int64(len(report.Evicted)))
+	sp.End()
+
+	sp = parent.Child("adapt.replace")
 	if err := s.replaceLost(ctx, top, report); err != nil {
 		return nil, err
 	}
+	sp.SetInt("replaced", int64(len(report.Replaced)))
+	sp.End()
+
 	// The redundancy phase may fill every free slot: capacity left idle
 	// serves nobody, so the budget only bounds displacement (evictions),
 	// not placements into free space.
@@ -81,17 +105,28 @@ func (s *System) AdaptCtx(ctx context.Context) (*AdaptReport, error) {
 	for v := 0; v < s.st.NumNodes(); v++ {
 		budget += s.st.Free(v)
 	}
+	sp = parent.Child("adapt.redundancy")
+	placedBefore := len(report.Placed)
 	s.addRedundancy(top, shares, weights, budget, report)
+	sp.SetInt("placed", int64(len(report.Placed)-placedBefore))
+	sp.End()
+
+	sp = parent.Child("adapt.fill")
+	placedBefore = len(report.Placed)
 	s.fillFree(shares, report)
+	sp.SetInt("placed", int64(len(report.Placed)-placedBefore))
+	sp.End()
 
 	// Leave the matrices repaired: the pass batched its deltas, one
 	// refresh settles them so the next request burst and Verify calls
 	// start from a clean model.
 	pl := s.newPool()
 	defer pl.Close()
+	sp = parent.Child("adapt.refresh")
 	if err := s.model.RefreshCtx(ctx, pl); err != nil {
 		return nil, err
 	}
+	sp.End()
 	s.statsMu.Lock()
 	s.stats.Adaptations++
 	s.stats.CopiesPlaced += int64(len(report.Placed))

@@ -7,6 +7,7 @@ import (
 	faircache "repro"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // maxRequestBatch caps the event count of one requests batch; larger
@@ -145,6 +146,14 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// AdaptRequest is the (optional) body of POST /v1/topologies/{id}/adapt.
+// An empty body runs a plain pass.
+type AdaptRequest struct {
+	// Explain records the pass's phase spans and returns the breakdown
+	// in adaptation.trace.
+	Explain bool `json:"explain,omitempty"`
+}
+
 // AdaptResponse reports one committed adaptation pass.
 type AdaptResponse struct {
 	Version    int                         `json:"version"`
@@ -153,6 +162,9 @@ type AdaptResponse struct {
 	Counts     []int                       `json:"counts"`
 	Gini       float64                     `json:"gini"`
 	Demand     *DemandInfo                 `json:"demand"`
+	// TraceID identifies the pass's trace (from the caller's traceparent
+	// header, or generated).
+	TraceID string `json:"traceId,omitempty"`
 }
 
 func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
@@ -161,11 +173,24 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, terr)
 		return
 	}
-	v, err := tp.do(r.Context(), func(cctx context.Context) (any, error) {
+	var req AdaptRequest
+	if r.ContentLength != 0 {
+		if err := decodeJSON(r, &req); err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
+	traceID := requestTraceID(r)
+	ctx := withTraceID(r.Context(), traceID)
+	ctx = trace.NewContext(ctx, s.tracer.StartTrace(traceID, req.Explain))
+	v, err := tp.do(ctx, func(cctx context.Context) (any, error) {
 		if tp.adaptive == nil {
 			return nil, badRequestf("no demand state: report requests before adapting")
 		}
-		res, err := tp.adaptive.Adapt(cctx)
+		res, err := tp.adaptive.AdaptWith(cctx, &faircache.AdaptRunOptions{
+			Explain: req.Explain,
+			TraceID: traceID,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -190,13 +215,17 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 		// Like solve records, the adapt record carries the absolute
 		// committed snapshot; the demand stream that produced it is
 		// deliberately not logged (it is ephemeral observation state).
-		if jerr := s.journal.append(&WALRecord{Type: WALAdapt, ID: tp.id, Snap: snap},
+		if jerr := s.journal.append(cctx, &WALRecord{Type: WALAdapt, ID: tp.id, Snap: snap},
 			func() { tp.commit(snap) }); jerr != nil {
 			return nil, jerr
 		}
 		s.vars.Add("adaptations", 1)
 		s.vars.Add("demand_evictions", int64(res.Evicted))
 		s.vars.Add("demand_copies_placed", int64(res.Placed))
+		s.metrics.adaptPasses.Inc()
+		s.metrics.adaptActions.WithLabelValues("evicted").Add(float64(res.Evicted))
+		s.metrics.adaptActions.WithLabelValues("placed").Add(float64(res.Placed))
+		s.metrics.adaptActions.WithLabelValues("replaced").Add(float64(len(res.Replaced)))
 		return &AdaptResponse{
 			Version:    snap.Version,
 			Adaptation: res,
@@ -204,6 +233,7 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 			Counts:     snap.Counts,
 			Gini:       metrics.Gini(snap.Counts),
 			Demand:     tp.demandInfo(),
+			TraceID:    traceID,
 		}, nil
 	})
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/coalesce"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // maxBodyBytes bounds every request body read by the service.
@@ -127,7 +128,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// Log the registration before the topology becomes visible: its
 	// generator spec and resolved producer/capacity are everything a
 	// restart needs to rebuild the graph deterministically.
-	if jerr := s.journal.append(&WALRecord{
+	if jerr := s.journal.append(r.Context(), &WALRecord{
 		Type: WALRegister, ID: id, Kind: kind, Spec: &req,
 		Producer: producer, Capacity: capacity,
 	}, nil); jerr != nil {
@@ -136,13 +137,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tp := newTopology(id, kind, topo, producer, capacity, online, 0, nil)
+	s.wireObservability(tp)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		tp.stop()
 		// Undo the durable registration so a restart does not resurrect
 		// a topology the client was told failed.
-		_ = s.journal.append(&WALRecord{Type: WALDelete, ID: id}, nil)
+		_ = s.journal.append(r.Context(), &WALRecord{Type: WALDelete, ID: id}, nil)
 		s.writeError(w, &Error{Status: http.StatusServiceUnavailable, Code: CodeShutdown, Message: "server is shutting down"})
 		return
 	}
@@ -150,6 +152,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	s.vars.Add("registrations", 1)
+	s.log.Info("topology registered",
+		"id", id, "kind", kind, "nodes", topo.NumNodes(), "links", topo.NumLinks(),
+		"producer", producer, "capacity", capacity)
 	writeJSON(w, http.StatusCreated, RegisterResponse{
 		ID:       id,
 		Kind:     kind,
@@ -257,10 +262,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	// was mid-commit on lands in the WAL ahead of the delete record.
 	tp.stop()
 	tp.wg.Wait()
-	if jerr := s.journal.append(&WALRecord{Type: WALDelete, ID: id}, nil); jerr != nil {
+	if jerr := s.journal.append(r.Context(), &WALRecord{Type: WALDelete, ID: id}, nil); jerr != nil {
 		s.writeError(w, jerr)
 		return
 	}
+	s.log.Info("topology deleted", "id", id)
 	writeJSON(w, http.StatusOK, struct {
 		ID      string `json:"id"`
 		Deleted bool   `json:"deleted"`
@@ -301,6 +307,11 @@ type SolveOptions struct {
 	Workers int `json:"workers,omitempty"`
 	// Partition routes the solve through the geographic sharding path.
 	Partition *PartitionSpec `json:"partition,omitempty"`
+	// Explain records the solve's phase spans regardless of the server's
+	// sampling knob and returns the per-phase breakdown in the response's
+	// trace field. Part of the coalescing identity (it changes the
+	// response), unlike the trace id (which never splits a flight).
+	Explain bool `json:"explain,omitempty"`
 
 	// PartitionRegions and PartitionHalo are the pre-consolidation
 	// spellings of Partition.Regions/Partition.Halo.
@@ -331,6 +342,7 @@ func (o *SolveOptions) toOptions(capacity int) *faircache.Options {
 	out.GreedyConFL = o.GreedyConFL
 	out.ImproveSteiner = o.ImproveSteiner
 	out.Workers = o.Workers
+	out.Explain = o.Explain
 	if o.Partition != nil && o.Partition.Regions != 0 {
 		out.Partition = &faircache.PartitionOptions{
 			Regions: o.Partition.Regions,
@@ -439,6 +451,12 @@ type SolveResponse struct {
 	// Coalesced reports that this response was served by attaching to
 	// another request's in-progress identical solve.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// TraceID identifies the underlying computation's trace; coalesced
+	// callers see the flight leader's id, not their own.
+	TraceID string `json:"traceId,omitempty"`
+	// Trace is the per-phase explain breakdown, present only when the
+	// request set options.explain.
+	Trace *faircache.ExplainReport `json:"trace,omitempty"`
 	// Deprecated lists the deprecated request fields this call used.
 	Deprecated []string `json:"deprecated,omitempty"`
 }
@@ -487,6 +505,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// Resolve the request's trace id (traceparent header or generated)
+	// and thread it — plus the server-layer trace, live only for sampled
+	// or explain'd requests — through the context. A coalesced flight
+	// inherits the leader's values, so the whole flight shares one id.
+	traceID := requestTraceID(r)
+	ctx = withTraceID(ctx, traceID)
+	str := s.tracer.StartTrace(traceID, opts.Explain)
+	ctx = trace.NewContext(ctx, str)
+
 	var (
 		v      any
 		shared bool
@@ -500,6 +527,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// timeoutMs: a short-deadline caller detaches on its own deadline
 		// without starving the flight's other waiters.
 		v, shared, err = tp.solveG.Do(ctx, solveKey(req.Chunks, opts), func(fctx context.Context) (any, error) {
+			fsp := trace.FromContext(fctx).Start("coalesce.flight")
+			defer fsp.End()
 			fctx, fcancel := context.WithTimeout(fctx, s.opts.SolveTimeout)
 			defer fcancel()
 			return s.runSolve(fctx, tp, alg, req.Chunks, opts)
@@ -526,13 +555,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // runSolve executes one underlying solve on the topology's worker and
 // commits the placement: the computation a coalesced flight shares.
 func (s *Server) runSolve(ctx context.Context, tp *topology, alg faircache.Algorithm, chunks int, opts *SolveOptions) (*SolveResponse, error) {
+	// The id rode in on the context — for coalesced flights that is the
+	// leader's id, which every attached caller's response then carries.
+	traceID := traceIDFrom(ctx)
 	v, err := tp.do(ctx, func(cctx context.Context) (any, error) {
 		start := time.Now()
+		eopts := opts.toOptions(tp.capacity)
+		eopts.TraceID = traceID
 		res, err := tp.solver.Solve(cctx, faircache.Request{
 			Producer:  tp.producer,
 			Chunks:    chunks,
 			Algorithm: alg,
-			Options:   opts.toOptions(tp.capacity),
+			Options:   eopts,
 		})
 		s.metrics.solveDuration.Observe(time.Since(start).Seconds())
 		if err != nil {
@@ -565,11 +599,15 @@ func (s *Server) runSolve(ctx context.Context, tp *topology, alg faircache.Algor
 		}
 		// WAL first, snapshot swap second: the record carries the full
 		// committed snapshot, so recovery replays absolute state.
-		if jerr := s.journal.append(&WALRecord{Type: WALSolve, ID: tp.id, Snap: snap},
+		if jerr := s.journal.append(cctx, &WALRecord{Type: WALSolve, ID: tp.id, Snap: snap},
 			func() { tp.commit(snap) }); jerr != nil {
 			return nil, jerr
 		}
 		s.vars.Add("solves", 1)
+		if res.Partition != nil {
+			s.metrics.stitchRebids.Add(float64(res.Partition.RebidCandidates))
+			s.metrics.stitchDropped.Add(float64(res.Partition.DroppedCopies))
+		}
 		return &SolveResponse{
 			Version:           snap.Version,
 			Algorithm:         res.Algorithm.String(),
@@ -586,6 +624,8 @@ func (s *Server) runSolve(ctx context.Context, tp *topology, alg faircache.Algor
 			ProvenOptimal:     res.ProvenOptimal,
 			Messages:          res.Messages,
 			Partition:         res.Partition,
+			TraceID:           traceID,
+			Trace:             res.Trace,
 		}, nil
 	})
 	if err != nil {
@@ -676,7 +716,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		// The record's Clock is the online system's absolute publication
 		// count, so recovery replays exactly that many arrivals and TTL
 		// expiry falls on the same ticks.
-		if jerr := s.journal.append(&WALRecord{Type: WALPublish, ID: tp.id, Snap: snap, Count: len(pubs)},
+		if jerr := s.journal.append(cctx, &WALRecord{Type: WALPublish, ID: tp.id, Snap: snap, Count: len(pubs)},
 			func() { tp.commit(snap) }); jerr != nil {
 			return nil, jerr
 		}

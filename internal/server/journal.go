@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/metrics/prom"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -207,8 +209,10 @@ type journal struct {
 // and record order matches commit order across all topologies. When the
 // snapshot cadence is reached it also writes a full-state snapshot and
 // compacts. On a WAL write error the commit does NOT run: the mutation
-// is aborted rather than committed un-durably.
-func (j *journal) append(rec *WALRecord, commit func()) error {
+// is aborted rather than committed un-durably. When ctx carries a live
+// trace (a sampled or explain'd request), the append — lock wait, disk
+// write, fsync — is recorded as a "wal.append" span.
+func (j *journal) append(ctx context.Context, rec *WALRecord, commit func()) error {
 	if j == nil {
 		if commit != nil {
 			commit()
@@ -219,6 +223,9 @@ func (j *journal) append(rec *WALRecord, commit func()) error {
 	if err != nil {
 		return fmt.Errorf("encoding WAL record: %w", err)
 	}
+	sp := trace.FromContext(ctx).Start("wal.append")
+	sp.SetInt("bytes", int64(len(payload)))
+	defer sp.End()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	start := time.Now()

@@ -25,6 +25,25 @@ type serverMetrics struct {
 	coalesceFlights *prom.CounterVec // underlying computations started
 	coalesceHits    *prom.CounterVec // callers served by a shared flight
 
+	// Coalesce lifecycle instruments: callers that gave up on a running
+	// flight, and flights aborted because every caller left.
+	coalesceDetached *prom.CounterVec
+	coalesceAborted  *prom.CounterVec
+
+	// Trace-fed phase latency. Observations come from the span observer,
+	// so only sampled (or explain) requests contribute — interpret as a
+	// latency profile, not a request count.
+	phaseDuration *prom.HistogramVec // faircached_solve_phase_seconds{phase}
+
+	// Partition stitch counters, fed from every partitioned solve
+	// response (always on, independent of trace sampling).
+	stitchRebids  *prom.Counter
+	stitchDropped *prom.Counter
+
+	// Adaptation pass counters, fed from every committed adapt response.
+	adaptPasses  *prom.Counter
+	adaptActions *prom.CounterVec // faircached_adapt_actions_total{action}
+
 	// Demand and durability instruments.
 	demandEvents      *prom.Counter
 	walAppendDuration *prom.Histogram
@@ -54,6 +73,20 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Underlying computations started by coalescing endpoints.", "endpoint"),
 		coalesceHits: reg.CounterVec("faircached_coalesced_requests_total",
 			"Requests served by attaching to an in-progress identical flight.", "endpoint"),
+		coalesceDetached: reg.CounterVec("faircached_coalesce_detached_total",
+			"Callers that gave up (context done) while their coalesced flight was still running.", "endpoint"),
+		coalesceAborted: reg.CounterVec("faircached_coalesce_aborted_total",
+			"Coalesced flights cancelled because every attached caller detached.", "endpoint"),
+		phaseDuration: reg.HistogramVec("faircached_solve_phase_seconds",
+			"Latency of traced solve-pipeline phases (sampled and explain requests only).", nil, "phase"),
+		stitchRebids: reg.Counter("faircached_partition_rebid_candidates_total",
+			"Boundary-adjacent copies re-evaluated by partition stitch passes."),
+		stitchDropped: reg.Counter("faircached_partition_dropped_copies_total",
+			"Copies removed as cross-cut redundant by partition stitch passes."),
+		adaptPasses: reg.Counter("faircached_adapt_passes_total",
+			"Committed demand adaptation passes."),
+		adaptActions: reg.CounterVec("faircached_adapt_actions_total",
+			"Copies moved by adaptation passes, by action (evicted, placed, replaced).", "action"),
 		demandEvents: reg.Counter("faircached_demand_events_total",
 			"Demand request events ingested via POST requests batches."),
 		walAppendDuration: reg.Histogram("faircached_wal_append_duration_seconds",
@@ -87,6 +120,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.GaugeFunc("faircached_wal_fsync_lag_seconds",
 		"Age of the oldest acknowledged-but-unsynced WAL append (0 when clean or in-memory).",
 		func() float64 { return s.journal.syncLag().Seconds() })
+	reg.GaugeFunc("faircached_wal_recovery_seconds",
+		"Duration of the startup WAL recovery (0 for in-memory servers).",
+		func() float64 { return s.walRecovery.Seconds() })
 	reg.GaugeFunc("faircached_uptime_seconds",
 		"Seconds since the server started.", func() float64 {
 			return time.Since(s.start).Seconds()

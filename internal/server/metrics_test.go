@@ -52,7 +52,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	c, _ := newTestClient(t, Options{})
 	reg := c.registerGrid(4, 4, 5)
 	var solve SolveResponse
-	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/solve", SolveRequest{Chunks: 3}, &solve, http.StatusOK)
+	// An explain solve also feeds the trace-fed phase histogram.
+	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/solve",
+		SolveRequest{Chunks: 3, Options: &SolveOptions{Explain: true}}, &solve, http.StatusOK)
 	c.doJSON("POST", "/v1/topologies/"+reg.ID+"/publish", nil, new(PublishResponse), http.StatusOK)
 	var rep ReportResponse
 	c.doJSON("GET", "/v1/topologies/"+reg.ID+"/report", nil, &rep, http.StatusOK)
@@ -81,8 +83,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		"faircached_worker_queue_depth":       "gauge",
 		"faircached_costmodel_cold_builds":    "gauge",
 		"faircached_wal_fsync_lag_seconds":    "gauge",
+		"faircached_wal_recovery_seconds":     "gauge",
 		"faircached_uptime_seconds":           "gauge",
 		"faircached_demand_events_total":      "counter",
+		"faircached_solve_phase_seconds":      "histogram",
+		"faircached_coalesce_detached_total":  "counter",
+		"faircached_coalesce_aborted_total":   "counter",
+		"faircached_adapt_passes_total":       "counter",
+		"faircached_adapt_actions_total":      "counter",
 	}
 	for name, kind := range wantTypes {
 		if types[name] != kind {

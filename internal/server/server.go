@@ -35,8 +35,10 @@
 package server
 
 import (
+	"context"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"reflect"
 	"slices"
@@ -45,6 +47,7 @@ import (
 
 	faircache "repro"
 
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -80,7 +83,35 @@ type Options struct {
 	SnapshotEvery int
 	// MaxSegmentBytes rotates WAL segments at this size (default 4MiB).
 	MaxSegmentBytes int64
+
+	// Logger receives the daemon's leveled operational records
+	// (registrations, deletions, WAL recovery, abandoned flights),
+	// tagged with trace ids where one is in scope. Nil discards them.
+	Logger *slog.Logger
+	// TraceSample records solve-phase spans for 1 in every N solve and
+	// adapt requests into the per-topology and server span rings served
+	// on GET /debug/trace (0 = off, the default; requests with
+	// options.explain record regardless).
+	TraceSample int
 }
+
+// logger returns the configured logger, or a discard logger when nil so
+// call sites never guard.
+func (o Options) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return slog.New(discardHandler{})
+}
+
+// discardHandler drops every record; the stdlib gains slog.DiscardHandler
+// only in go1.24, which this module does not assume.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
 
 func (o Options) withDefaults() Options {
 	if o.SolveTimeout <= 0 {
@@ -106,9 +137,18 @@ type Server struct {
 	opts    Options
 	mux     *http.ServeMux
 	start   time.Time
+	log     *slog.Logger
 	vars    *expvar.Map    // per-Server counters (legacy shim; /metrics is canonical)
 	metrics *serverMetrics // Prometheus instruments served on GET /metrics
 	journal *journal       // nil in in-memory mode
+
+	// tracer records server-layer spans (coalesce flights, WAL appends,
+	// startup recovery); per-topology solve spans live in each solver's
+	// own ring. GET /debug/trace merges both.
+	tracer *trace.Tracer
+	// walRecovery is the startup recovery duration, written once in New
+	// before the server is shared and read by the metrics gauge.
+	walRecovery time.Duration
 
 	mu     sync.RWMutex
 	topos  map[string]*topology
@@ -125,13 +165,21 @@ type Server struct {
 // logged committed snapshots.
 func New(opts Options) (*Server, error) {
 	s := &Server{
-		opts:  opts.withDefaults(),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		vars:  new(expvar.Map).Init(),
-		topos: make(map[string]*topology),
+		opts:   opts.withDefaults(),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		vars:   new(expvar.Map).Init(),
+		topos:  make(map[string]*topology),
+		tracer: trace.New(0),
 	}
+	s.log = s.opts.logger()
+	s.tracer.SetSampling(s.opts.TraceSample)
 	s.metrics = newServerMetrics(s)
+	// Server-layer spans feed the same phase histogram the per-solver
+	// observers do; only sampled and explain requests reach here.
+	s.tracer.Observe(func(r *trace.Record) {
+		s.metrics.phaseDuration.WithLabelValues(r.Name).Observe(r.Duration().Seconds())
+	})
 	if s.opts.DataDir != "" {
 		if err := s.openJournal(); err != nil {
 			return nil, err
@@ -140,6 +188,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.metrics.registry.ServeHTTP))
 	s.mux.HandleFunc("GET /debug/vars", s.instrument("debug_vars", s.handleVars))
+	s.mux.HandleFunc("GET /debug/trace", s.instrument("debug_trace", s.handleDebugTrace))
 	s.mux.HandleFunc("POST /v1/topologies", s.instrument("register", s.handleRegister))
 	s.mux.HandleFunc("GET /v1/topologies", s.instrument("list", s.handleList))
 	s.mux.HandleFunc("GET /v1/topologies/{id}", s.instrument("get", s.handleGetTopology))
@@ -153,8 +202,13 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// openJournal opens (and recovers from) the WAL in opts.DataDir.
+// openJournal opens (and recovers from) the WAL in opts.DataDir. The
+// recovery is timed (faircached_wal_recovery_seconds) and recorded as a
+// "wal.recover" span in the server's trace ring.
 func (s *Server) openJournal() error {
+	begin := time.Now()
+	rtr := s.tracer.StartTrace("startup", true)
+	rsp := rtr.Start("wal.recover")
 	policy, err := wal.ParseSyncPolicy(s.opts.Fsync)
 	if err != nil {
 		return err
@@ -164,6 +218,7 @@ func (s *Server) openJournal() error {
 		Policy:          policy,
 		Interval:        s.opts.FsyncInterval,
 		MaxSegmentBytes: s.opts.MaxSegmentBytes,
+		Logger:          s.log,
 	})
 	if err != nil {
 		return err
@@ -178,6 +233,15 @@ func (s *Server) openJournal() error {
 		return fmt.Errorf("server: WAL recovery: %w", err)
 	}
 	s.journal = &journal{vars: s.vars, appendDur: s.metrics.walAppendDuration, log: log, shadow: shadow, every: s.opts.SnapshotEvery}
+	s.walRecovery = time.Since(begin)
+	rsp.SetInt("topologies", int64(len(s.topos)))
+	rsp.SetInt("records", int64(len(recovered.Records)))
+	rsp.End()
+	s.log.Info("wal recovery complete",
+		"dir", s.opts.DataDir,
+		"topologies", len(s.topos),
+		"records", len(recovered.Records),
+		"durationMs", float64(s.walRecovery.Microseconds())/1000)
 	return nil
 }
 
@@ -219,7 +283,10 @@ func (s *Server) restore(shadow *walShadow) error {
 			version = ts.Snap.Version
 		}
 		tp := newTopology(ts.ID, kind, topo, ts.Producer, ts.Capacity, online, version, ts.Snap)
+		s.wireObservability(tp)
 		s.topos[ts.ID] = tp
+		s.log.Debug("topology recovered",
+			"id", ts.ID, "kind", kind, "nodes", topo.NumNodes(), "version", version, "clock", ts.Clock)
 	}
 	s.nextID = shadow.nextID
 	s.vars.Add("recovered_topologies", int64(len(st.Topologies)))
@@ -291,6 +358,34 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		if rec.status >= 400 {
 			s.metrics.errors.WithLabelValues(name).Inc()
 		}
+	}
+}
+
+// wireObservability connects a fresh topology's solver tracing and
+// coalesce hooks to the server's metrics and logger. Must run before the
+// topology is published to the registry (observer and hook installation
+// is not synchronized with traffic).
+func (s *Server) wireObservability(tp *topology) {
+	tp.solver.SetTraceSampling(s.opts.TraceSample)
+	tp.solver.OnTraceSpan(func(sp faircache.TraceSpan) {
+		s.metrics.phaseDuration.WithLabelValues(sp.Name).Observe(sp.DurationMs / 1e3)
+	})
+	tp.solveG.OnDetach = s.detachHook("solve", tp.id)
+	tp.reportG.OnDetach = s.detachHook("report", tp.id)
+}
+
+// detachHook builds the coalesce-group detach callback for one endpoint:
+// it counts the detach (and the flight abort when the caller was the
+// last one) and logs a warning tagged with the caller's trace id.
+func (s *Server) detachHook(endpoint, id string) func(ctx context.Context, key string, alone bool) {
+	return func(ctx context.Context, key string, alone bool) {
+		s.metrics.coalesceDetached.WithLabelValues(endpoint).Inc()
+		if alone {
+			s.metrics.coalesceAborted.WithLabelValues(endpoint).Inc()
+		}
+		s.log.Warn("caller detached from coalesced flight",
+			"endpoint", endpoint, "topology", id, "key", key,
+			"flightAborted", alone, "traceId", traceIDFrom(ctx))
 	}
 }
 

@@ -22,9 +22,11 @@ package wal
 
 import (
 	"cmp"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"slices"
@@ -76,12 +78,16 @@ func (p SyncPolicy) String() string {
 }
 
 // Options configures a Log. Dir is required; zero values elsewhere mean
-// SyncAlways, a 100ms sync interval and 4MiB segments.
+// SyncAlways, a 100ms sync interval, 4MiB segments and a silent logger.
 type Options struct {
 	Dir             string
 	Policy          SyncPolicy
 	Interval        time.Duration
 	MaxSegmentBytes int64
+	// Logger receives leveled operational records (recovery outcome,
+	// torn-tail truncation, segment rotation, snapshot compaction). nil
+	// keeps the log silent — the library never writes to a default sink.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +99,23 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// logger returns the configured logger or a discard-all fallback.
+func (o Options) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return slog.New(discardHandler{})
+}
+
+// discardHandler drops every record; the stdlib gains slog.DiscardHandler
+// only in go 1.24, so carry a two-line equivalent.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
 
 // Recovery is what Open (or the read-only Scan) reconstructed from a log
 // directory: the newest valid snapshot payload, every record payload
@@ -117,6 +140,7 @@ type Recovery struct {
 // are safe for concurrent use.
 type Log struct {
 	opts Options
+	log  *slog.Logger
 
 	mu         sync.Mutex
 	f          *os.File // active segment
@@ -259,10 +283,14 @@ func Open(opts Options) (*Log, *Recovery, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	logger := opts.logger()
 	if res.lastTorn {
 		if err := os.Truncate(filepath.Join(opts.Dir, segName(res.lastSeq)), res.lastValid); err != nil {
 			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
 		}
+		logger.Warn("wal truncated torn tail",
+			"segment", segName(res.lastSeq),
+			"droppedBytes", res.rec.TruncatedBytes)
 	}
 	for _, seq := range res.staleSegs {
 		_ = os.Remove(filepath.Join(opts.Dir, segName(seq)))
@@ -270,8 +298,13 @@ func Open(opts Options) (*Log, *Recovery, error) {
 	for _, seq := range res.staleSnaps {
 		_ = os.Remove(filepath.Join(opts.Dir, snapName(seq)))
 	}
+	logger.Info("wal recovered",
+		"dir", opts.Dir,
+		"segments", res.rec.Segments,
+		"records", len(res.rec.Records),
+		"snapshot", res.rec.Snapshot != nil)
 
-	l := &Log{opts: opts}
+	l := &Log{opts: opts, log: logger}
 	if res.lastSeq > 0 {
 		f, err := os.OpenFile(filepath.Join(opts.Dir, segName(res.lastSeq)), os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -390,7 +423,12 @@ func (l *Log) rotateLocked() error {
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	return l.createSegment(l.seq + 1)
+	sealed := l.seq
+	if err := l.createSegment(l.seq + 1); err != nil {
+		return err
+	}
+	l.log.Debug("wal rotated segment", "sealed", segName(sealed), "active", segName(l.seq))
+	return nil
 }
 
 // WriteSnapshot atomically persists a full-state snapshot (tmp file,
@@ -436,6 +474,7 @@ func (l *Log) WriteSnapshot(payload []byte) error {
 			break
 		}
 	}
+	l.log.Info("wal snapshot written", "snapshot", snapName(oldSeq), "bytes", len(frame), "compactedThrough", segName(oldSeq))
 	return l.syncDir()
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package faircache_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package faircache_test
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation makes testing.AllocsPerRun jitter by tens of allocs;
+// strict allocation-delta tests skip themselves under it.
+const raceEnabled = true

@@ -8,6 +8,8 @@
 #   BENCH_PATTERN -bench regexp                (default: .)
 #   BENCH_TIME    -benchtime value             (default: go's default)
 #   BENCH_OUT     output path                  (default: BENCH_<short-sha>.json)
+#   BENCH_ASSERT  when 1, fail if any benchmark's allocs/op regressed
+#                 beyond tolerance vs the committed baseline (see below)
 #
 # The JSON layout is one object per benchmark line:
 #   {"name": ..., "iterations": ..., "nsPerOp": ..., "bytesPerOp": ..., "allocsPerOp": ...}
@@ -17,6 +19,14 @@
 # committed BENCH_*.json (by commit time) and per-benchmark ns/op and
 # allocs/op deltas are printed, so a perf regression is visible in the
 # run log (and in CI) before the numbers land in review.
+#
+# With BENCH_ASSERT=1 the comparison becomes a gate on allocs/op only:
+# a benchmark may not allocate more than 10% AND more than 2 allocs/op
+# over its baseline. allocs/op is deterministic even at -benchtime=1x,
+# so CI's smoke run can assert on it; ns/op stays advisory there (1x
+# timings are noise). The tolerance absorbs size-class jitter while
+# still catching a tracing hook or logging call leaking allocations
+# onto a hot path.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -37,9 +47,9 @@ trap 'rm -f "$RAW"' EXIT
 # shellcheck disable=SC2086 — TIME_FLAG is intentionally word-split.
 go test -run '^$' -bench "$PATTERN" -benchmem -count=1 $TIME_FLAG $PKGS | tee "$RAW"
 
-awk -v sha="$SHA" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version)" '
+awk -v sha="$SHA" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version)" -v btime="${BENCH_TIME:-default}" '
 BEGIN {
-  printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", sha, date, gover
+  printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", sha, date, gover, btime
   n = 0
 }
 /^Benchmark/ {
@@ -66,13 +76,21 @@ END { printf "\n  ]\n}\n" }
 echo "wrote $OUT"
 
 # Baseline: the committed BENCH_*.json with the newest commit timestamp,
-# excluding the file this run just wrote. Benchmark names are compared
-# with their -GOMAXPROCS suffix stripped so runs from machines with
-# different core counts still line up.
+# excluding the file this run just wrote and any file recorded at a
+# different -benchtime. A 1x smoke run amortizes cold setup over a single
+# iteration while a default-time run spreads it over thousands, so
+# allocs/op (and ns/op) are only comparable between runs of the same
+# benchtime; files predating the benchtime field count as "default".
+# Benchmark names are compared with their -GOMAXPROCS suffix stripped so
+# runs from machines with different core counts still line up.
+WANT_BTIME="${BENCH_TIME:-default}"
 BASE=""
-BASE_T=0
+BASE_T=-1 # staged-but-uncommitted baselines have no commit time (0)
 for f in $(git ls-files 'BENCH_*.json' 2>/dev/null); do
   [ "$f" = "${OUT#./}" ] && continue
+  fbtime="$(sed -n 's/.*"benchtime": "\([^"]*\)".*/\1/p' "$f" | head -1)"
+  [ -n "$fbtime" ] || fbtime="default"
+  [ "$fbtime" = "$WANT_BTIME" ] || continue
   t="$(git log -1 --format=%ct -- "$f" 2>/dev/null)"
   [ -n "$t" ] || t=0
   if [ "$t" -gt "$BASE_T" ]; then
@@ -82,13 +100,13 @@ for f in $(git ls-files 'BENCH_*.json' 2>/dev/null); do
 done
 
 if [ -z "$BASE" ]; then
-  echo "no committed BENCH_*.json baseline found; skipping comparison"
+  echo "no committed BENCH_*.json baseline for benchtime=$WANT_BTIME; skipping comparison"
   exit 0
 fi
 
 echo ""
 echo "delta vs $BASE ($(git log -1 --format=%h -- "$BASE")):"
-awk '
+awk -v assert="${BENCH_ASSERT:-0}" '
 function bname(line,    n) {
   if (!match(line, /"name": "[^"]+"/)) return ""
   n = substr(line, RSTART + 9, RLENGTH - 10)
@@ -125,5 +143,18 @@ function pct(old, new) {
   if (al != "" && base_al[n] != "")
     printf "  allocs/op %s -> %s (%s)", base_al[n], al, pct(base_al[n], al)
   printf "\n"
+  # The assertion gate: allocs/op beyond 10% AND 2 absolute over baseline.
+  if (assert == 1 && al != "" && base_al[n] != "") {
+    if (al + 0 > base_al[n] * 1.10 && al + 0 > base_al[n] + 2) {
+      bad[nbad++] = sprintf("%s: allocs/op %s -> %s", n, base_al[n], al)
+    }
+  }
+}
+END {
+  if (nbad > 0) {
+    printf "\nBENCH_ASSERT: %d benchmark(s) regressed allocs/op beyond tolerance (>10%% and >2):\n", nbad > "/dev/stderr"
+    for (i = 0; i < nbad; i++) printf "  %s\n", bad[i] > "/dev/stderr"
+    exit 1
+  }
 }
 ' "$BASE" "$OUT"

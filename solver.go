@@ -14,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/pool"
+	"repro/internal/trace"
 )
 
 // Request describes one placement solve: which node produces the data, how
@@ -59,6 +60,10 @@ type Solver struct {
 	// solve path, keyed by requested region count.
 	planMu sync.Mutex
 	plans  map[int]*partitionPlan
+
+	// tracer owns the solver's recent-span ring buffer and sampling knob
+	// (SetTraceSampling / TraceSpans). Off by default and free when off.
+	tracer *trace.Tracer
 }
 
 // SolverStats counts how solves obtained their cost matrices.
@@ -90,7 +95,7 @@ func NewSolver(t *Topology) (*Solver, error) {
 	if !t.g.Connected() {
 		return nil, ErrNotConnected
 	}
-	return &Solver{topo: t, pc: graph.NewPathCache(t.g), scratch: core.NewScratchPool()}, nil
+	return &Solver{topo: t, pc: graph.NewPathCache(t.g), scratch: core.NewScratchPool(), tracer: trace.New(0)}, nil
 }
 
 // Topology returns the topology the solver is bound to.
@@ -106,7 +111,7 @@ func (s *Solver) Stats() SolverStats {
 // baseModel returns the solver's shared empty-state cost model, building
 // (and fully refreshing) it on first use. After that single build the
 // model is never mutated again, so concurrent solves may read it freely.
-func (s *Solver) baseModel(ctx context.Context, pl *pool.Pool) (*costmodel.Model, error) {
+func (s *Solver) baseModel(ctx context.Context, pl *pool.Pool, sp *trace.Span) (*costmodel.Model, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.base != nil {
@@ -117,6 +122,7 @@ func (s *Solver) baseModel(ctx context.Context, pl *pool.Pool) (*costmodel.Model
 	// model serves every capacity/battery/weight configuration: forks
 	// re-derive the cheap fairness vector from their own state and
 	// options, only the O(N²) matrices are shared.
+	bsp := sp.Child("costmodel.build")
 	st := cache.NewState(s.topo.g.NumNodes(), 1)
 	m, err := costmodel.New(s.topo.g, s.pc, st, costmodel.Options{FairnessWeight: 1})
 	if err != nil {
@@ -125,6 +131,9 @@ func (s *Solver) baseModel(ctx context.Context, pl *pool.Pool) (*costmodel.Model
 	if err := m.RefreshCtx(ctx, pl); err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
 	}
+	bsp.SetInt("cold", 1)
+	bsp.SetInt("cells", int64(m.MatrixCells()))
+	bsp.End()
 	s.base = m
 	s.stats.ColdBuilds++
 	return m, nil
@@ -152,23 +161,42 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 		return nil, fmt.Errorf("%w: chunk count %d must be positive", ErrBadArgument, req.Chunks)
 	}
 	o := req.Options.withDefaults()
+	tr := s.tracer.StartTrace(o.TraceID, o.Explain)
+	sp := tr.Start("solve")
+	sp.SetInt("chunks", int64(req.Chunks))
+	sp.SetInt("producer", int64(req.Producer))
+	res, err := s.dispatch(ctx, req, o, alg, &sp)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	if o.Explain {
+		res.Trace = buildExplain(tr, "solve")
+	}
+	return res, nil
+}
+
+// dispatch routes a validated request to its algorithm's solve path,
+// with sp — the request's root trace span — as the parent the pipeline's
+// phase spans attach under (a dead span when tracing is off).
+func (s *Solver) dispatch(ctx context.Context, req Request, o Options, alg Algorithm, sp *trace.Span) (*Result, error) {
 	if o.Partition != nil {
 		if alg != AlgorithmApprox {
 			return nil, fmt.Errorf("%w: partitioned solves support only AlgorithmApprox, got %q", ErrBadArgument, string(alg))
 		}
-		return s.solvePartitioned(ctx, req, o)
+		return s.solvePartitioned(ctx, req, o, sp)
 	}
 	switch alg {
 	case AlgorithmApprox:
-		return s.solveApprox(ctx, req, o)
+		return s.solveApprox(ctx, req, o, sp)
 	case AlgorithmDistributed:
-		return s.solveDistributed(ctx, req, o)
+		return s.solveDistributed(ctx, req, o, sp)
 	case AlgorithmHopCount:
-		return s.solveBaseline(ctx, req, o, baseline.HopCount, AlgorithmHopCount, metrics.AccessHopNearest)
+		return s.solveBaseline(ctx, req, o, baseline.HopCount, AlgorithmHopCount, metrics.AccessHopNearest, sp)
 	case AlgorithmContention:
-		return s.solveBaseline(ctx, req, o, baseline.Contention, AlgorithmContention, metrics.AccessTopologyNearest)
+		return s.solveBaseline(ctx, req, o, baseline.Contention, AlgorithmContention, metrics.AccessTopologyNearest, sp)
 	case AlgorithmOptimal:
-		return s.solveOptimal(ctx, req, o)
+		return s.solveOptimal(ctx, req, o, sp)
 	default:
 		return nil, fmt.Errorf("%w: unknown algorithm %q", ErrBadArgument, string(alg))
 	}
@@ -198,10 +226,11 @@ func coreOptions(o Options) core.Options {
 }
 
 // solveApprox runs the paper's centralized approximation (Algorithm 1).
-func (s *Solver) solveApprox(ctx context.Context, req Request, o Options) (*Result, error) {
+func (s *Solver) solveApprox(ctx context.Context, req Request, o Options, sp *trace.Span) (*Result, error) {
 	coreOpts := coreOptions(o)
 	coreOpts.PathCache = s.pc
 	coreOpts.Scratch = s.scratch
+	coreOpts.Parent = *sp
 	solver, err := core.New(s.topo.g, coreOpts)
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
@@ -214,9 +243,14 @@ func (s *Solver) solveApprox(ctx context.Context, req Request, o Options) (*Resu
 	// the cold all-pairs build is paid once per topology, not per solve.
 	pl := pool.New(pool.Normalize(o.Workers))
 	defer pl.Close()
-	bm, err := s.baseModel(ctx, pl)
+	bm, err := s.baseModel(ctx, pl, sp)
 	if err != nil {
 		return nil, err
+	}
+	fsp := sp.Child("costmodel.fork")
+	var fst0 costmodel.Stats
+	if fsp.Live() {
+		fst0 = bm.Stats()
 	}
 	m, err := bm.ForkCtx(ctx, pl, st, costmodel.Options{
 		FairnessWeight: coreOpts.FairnessWeight,
@@ -225,6 +259,12 @@ func (s *Solver) solveApprox(ctx context.Context, req Request, o Options) (*Resu
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
 	}
+	if fsp.Live() {
+		fst1 := bm.Stats()
+		fsp.SetInt("warm", int64(fst1.WarmForks-fst0.WarmForks))
+		fsp.SetInt("cold", int64(fst1.ColdForks-fst0.ColdForks))
+	}
+	fsp.End()
 	p, err := solver.PlaceModelCtx(ctx, req.Producer, req.Chunks, m)
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
@@ -234,7 +274,7 @@ func (s *Solver) solveApprox(ctx context.Context, req Request, o Options) (*Resu
 
 // solveDistributed runs the distributed protocol (Algorithm 2) on the
 // deterministic message-round simulator.
-func (s *Solver) solveDistributed(ctx context.Context, req Request, o Options) (*Result, error) {
+func (s *Solver) solveDistributed(ctx context.Context, req Request, o Options, sp *trace.Span) (*Result, error) {
 	distOpts := dist.DefaultOptions()
 	distOpts.K = o.HopLimit
 	distOpts.FairnessWeight = o.FairnessWeight
@@ -254,10 +294,12 @@ func (s *Solver) solveDistributed(ctx context.Context, req Request, o Options) (
 	}
 	st := newState(s.topo, o)
 	base := st.Clone()
+	psp := sp.Child("dist.place")
 	p, err := protocol.PlaceChunksCtx(ctx, req.Producer, req.Chunks, st)
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
 	}
+	psp.End()
 	res := newResult(s.topo, AlgorithmDistributed, req.Producer, req.Chunks, o.Capacity, p.CacheNodes(), st, base, metrics.AccessCostNearest)
 	res.Messages = p.MessagesByKind()
 	return res, nil
@@ -265,7 +307,7 @@ func (s *Solver) solveDistributed(ctx context.Context, req Request, o Options) (
 
 // solveBaseline runs one of the two greedy comparison algorithms with the
 // paper's multi-item extension.
-func (s *Solver) solveBaseline(ctx context.Context, req Request, o Options, alg baseline.Algorithm, name Algorithm, strategy metrics.AccessStrategy) (*Result, error) {
+func (s *Solver) solveBaseline(ctx context.Context, req Request, o Options, alg baseline.Algorithm, name Algorithm, strategy metrics.AccessStrategy, sp *trace.Span) (*Result, error) {
 	lambda := o.Lambda
 	if lambda <= 0 {
 		lambda = baseline.RecommendedLambda(alg, s.topo.NumNodes())
@@ -274,19 +316,21 @@ func (s *Solver) solveBaseline(ctx context.Context, req Request, o Options, alg 
 	base := st.Clone()
 	pl := pool.New(pool.Normalize(o.Workers))
 	defer pl.Close()
-	bm, err := s.baseModel(ctx, pl)
+	bm, err := s.baseModel(ctx, pl, sp)
 	if err != nil {
 		return nil, err
 	}
+	psp := sp.Child("baseline.place")
 	p, err := baseline.PlaceChunksModelCtx(ctx, bm, req.Producer, req.Chunks, st, alg, lambda, pl)
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
 	}
+	psp.End()
 	return newResult(s.topo, name, req.Producer, req.Chunks, o.Capacity, p.Holders, st, base, strategy), nil
 }
 
 // solveOptimal runs the exact per-chunk branch-and-bound reference.
-func (s *Solver) solveOptimal(ctx context.Context, req Request, o Options) (*Result, error) {
+func (s *Solver) solveOptimal(ctx context.Context, req Request, o Options, sp *trace.Span) (*Result, error) {
 	exOpts := exact.DefaultOptions()
 	exOpts.FairnessWeight = o.FairnessWeight
 	exOpts.NodeBudget = o.SearchBudget
@@ -295,10 +339,12 @@ func (s *Solver) solveOptimal(ctx context.Context, req Request, o Options) (*Res
 	exOpts.PathCache = s.pc
 	st := newState(s.topo, o)
 	base := st.Clone()
+	psp := sp.Child("exact.place")
 	p, err := exact.PlaceChunksCtx(ctx, s.topo.g, req.Producer, req.Chunks, st, exOpts)
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
 	}
+	psp.End()
 	res := newResult(s.topo, AlgorithmOptimal, req.Producer, req.Chunks, o.Capacity, p.CacheNodes(), st, base, metrics.AccessCostNearest)
 	res.ProvenOptimal = p.Optimal()
 	return res, nil

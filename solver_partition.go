@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/pool"
+	"repro/internal/trace"
 )
 
 // partitionPlan is one memoised decomposition of the solver's topology:
@@ -148,7 +149,7 @@ func regionState(reg partition.Region, o Options) *cache.State {
 // boundary stitch. Regions solve against their own warm-forked cost
 // models, so no O(N²) structure over the full topology is ever built on
 // this path.
-func (s *Solver) solvePartitioned(ctx context.Context, req Request, o Options) (*Result, error) {
+func (s *Solver) solvePartitioned(ctx context.Context, req Request, o Options, sp *trace.Span) (*Result, error) {
 	halo := o.Partition.Halo
 	switch {
 	case halo == 0:
@@ -164,10 +165,16 @@ func (s *Solver) solvePartitioned(ctx context.Context, req Request, o Options) (
 
 	pl := pool.New(pool.Normalize(o.Workers))
 	defer pl.Close()
+	bsp := sp.Child("partition.bases")
 	built, err := plan.ensureBases(ctx, pl)
 	if err != nil {
 		return nil, fmt.Errorf("faircache: %w", err)
 	}
+	if built {
+		bsp.SetInt("cold", 1)
+		bsp.SetInt("regions", int64(len(part.Regions)))
+	}
+	bsp.End()
 
 	// The fan-out is across regions; inside each region the engine runs
 	// its sequential reference path (nesting a ForEach on the same pool
@@ -182,7 +189,13 @@ func (s *Solver) solvePartitioned(ctx context.Context, req Request, o Options) (
 	producers := regionProducers(s.topo.g, part, req.Producer)
 	placements := make([]*core.Placement, len(part.Regions))
 	err = pl.ForEachErr(ctx, len(part.Regions), func(r int) error {
-		engine, err := plan.solvers[r].Reconfigure(coreOpts)
+		rsp := sp.Child("partition.region")
+		rsp.SetInt("region", int64(r))
+		rsp.SetInt("nodes", int64(len(part.Regions[r].Nodes)))
+		defer rsp.End()
+		ropts := coreOpts
+		ropts.Parent = rsp
+		engine, err := plan.solvers[r].Reconfigure(ropts)
 		if err != nil {
 			return err
 		}
@@ -231,12 +244,17 @@ func (s *Solver) solvePartitioned(ctx context.Context, req Request, o Options) (
 	for v := range weights {
 		weights[v] = float64(s.topo.g.Degree(v))
 	}
+	ssp := sp.Child("partition.stitch")
 	stitched, stitchStats := part.Stitch(merged, partition.StitchOptions{
 		Producer:   req.Producer,
 		Halo:       halo,
 		CopyCharge: copyCharge,
 		Weights:    weights,
 	})
+	ssp.SetInt("haloNodes", int64(stitchStats.HaloNodes))
+	ssp.SetInt("rebids", int64(stitchStats.Candidates))
+	ssp.SetInt("dropped", int64(stitchStats.Dropped))
+	ssp.End()
 
 	st := newState(s.topo, o)
 	base := st.Clone()

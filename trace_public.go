@@ -1,0 +1,126 @@
+package faircache
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TraceSpan is the public projection of one recorded solve span: what ran,
+// when, for how long, under which trace, with its integer counters. The
+// daemon's GET /debug/trace dumps these as JSON.
+type TraceSpan struct {
+	TraceID    string           `json:"traceId"`
+	SpanID     uint64           `json:"spanId"`
+	ParentID   uint64           `json:"parentId,omitempty"`
+	Name       string           `json:"name"`
+	Start      time.Time        `json:"start"`
+	DurationMs float64          `json:"durationMs"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+}
+
+// ExplainPhase summarises one pipeline phase of an explain trace.
+type ExplainPhase struct {
+	// Phase is the span name ("chunk", "confl", "steiner.connect",
+	// "costmodel.refresh", "partition.region", "partition.stitch", ...).
+	Phase string `json:"phase"`
+	// Count is how many spans of this phase ran.
+	Count int `json:"count"`
+	// TotalMs is their summed elapsed time. Phases overlap (a chunk span
+	// contains its confl span) and partitioned regions run concurrently,
+	// so phase totals do not sum to TotalMs of the report.
+	TotalMs float64 `json:"totalMs"`
+	// Counters sums the phase's integer span attributes (ticks, admitted
+	// facilities, repaired rows, stitch re-bids, ...).
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// ExplainReport is the per-request phase breakdown returned on
+// Options.Explain via Result.Trace / AdaptationResult.Trace.
+type ExplainReport struct {
+	TraceID string         `json:"traceId"`
+	TotalMs float64        `json:"totalMs"`
+	Spans   int            `json:"spans"`
+	Phases  []ExplainPhase `json:"phases"`
+}
+
+// SetTraceSampling turns span recording on for 1 in every solves
+// (1 = every solve, 0 = off, the default). Sampled spans land in the
+// solver's fixed-size ring buffer (TraceSpans); requests with
+// Options.Explain record regardless of this knob. Tracing is free when
+// off: the disabled path adds zero allocations to a solve.
+func (s *Solver) SetTraceSampling(every int) { s.tracer.SetSampling(every) }
+
+// TraceSampling returns the current 1-in-N sampling knob (0 = off).
+func (s *Solver) TraceSampling() int { return s.tracer.Sampling() }
+
+// TraceSpans copies the solver's recent-span ring buffer, oldest first,
+// keeping only spans at least slowerThan long (0 keeps all).
+func (s *Solver) TraceSpans(slowerThan time.Duration) []TraceSpan {
+	recs := s.tracer.Snapshot()
+	epoch := s.tracer.Epoch()
+	out := make([]TraceSpan, 0, len(recs))
+	for i := range recs {
+		if recs[i].Duration() < slowerThan {
+			continue
+		}
+		out = append(out, publicSpan(&recs[i], epoch))
+	}
+	return out
+}
+
+// OnTraceSpan installs fn as the solver's span observer, invoked once per
+// recorded span (sampled or explain traces only). The daemon uses it to
+// feed per-phase latency histograms. Install before the solver sees
+// concurrent traffic; fn runs on the solving goroutine, keep it fast.
+func (s *Solver) OnTraceSpan(fn func(TraceSpan)) {
+	if fn == nil {
+		s.tracer.Observe(nil)
+		return
+	}
+	epoch := s.tracer.Epoch()
+	s.tracer.Observe(func(r *trace.Record) { fn(publicSpan(r, epoch)) })
+}
+
+func publicSpan(r *trace.Record, epoch time.Time) TraceSpan {
+	return TraceSpan{
+		TraceID:    r.TraceID,
+		SpanID:     r.SpanID,
+		ParentID:   r.Parent,
+		Name:       r.Name,
+		Start:      epoch.Add(r.Start),
+		DurationMs: float64(r.Duration()) / float64(time.Millisecond),
+		Attrs:      r.AttrMap(),
+	}
+}
+
+// buildExplain turns a collected explain trace into the public report.
+// rootName's total (there is exactly one root span per request) becomes
+// the report's TotalMs.
+func buildExplain(tr *trace.Trace, rootName string) *ExplainReport {
+	recs := tr.Collected()
+	if recs == nil {
+		return nil
+	}
+	sums := trace.Summarize(recs)
+	rep := &ExplainReport{TraceID: tr.ID(), Spans: len(recs)}
+	for _, ps := range sums {
+		ms := float64(ps.Total) / float64(time.Millisecond)
+		if ps.Phase == rootName {
+			rep.TotalMs = ms
+		}
+		rep.Phases = append(rep.Phases, ExplainPhase{
+			Phase:    ps.Phase,
+			Count:    ps.Count,
+			TotalMs:  ms,
+			Counters: ps.Counters,
+		})
+	}
+	// Slowest phases first reads best in JSON output; the root span stays
+	// on top by construction since it contains every other phase.
+	sort.SliceStable(rep.Phases, func(i, j int) bool {
+		return rep.Phases[i].TotalMs > rep.Phases[j].TotalMs
+	})
+	return rep
+}
